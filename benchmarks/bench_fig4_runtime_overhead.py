@@ -1,0 +1,47 @@
+"""Figure 4 — runtime overhead of every safety approach vs. the unsafe
+baseline, for both GPU configurations.
+
+Shape assertions encode the paper's qualitative findings: the ordering
+full IOMMU >> CAPI-like > BC-noBCC > BC-BCC ~ 0, the memory-bound
+workloads (bfs, lud, nw) suffering most under the full IOMMU, and the
+highly threaded GPU tolerating CAPI while the full IOMMU devastates it.
+"""
+
+import pytest
+
+from repro.experiments import fig4
+from repro.sim.config import GPUThreading, SafetyMode
+
+
+@pytest.mark.parametrize(
+    "threading", [GPUThreading.HIGHLY, GPUThreading.MODERATELY], ids=["4a", "4b"]
+)
+def test_fig4_runtime_overheads(benchmark, threading, full_scale):
+    result = benchmark.pedantic(
+        fig4.run, args=(threading,), kwargs={"ops_scale": full_scale},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+
+    gm = {mode: result.geomean(mode) for mode in fig4.SAFETY_MODES}
+    # Ordering of the four safety approaches (paper Fig. 4).
+    assert gm[SafetyMode.FULL_IOMMU] > gm[SafetyMode.CAPI_LIKE]
+    assert gm[SafetyMode.FULL_IOMMU] > 10 * gm[SafetyMode.BC_BCC]
+    assert gm[SafetyMode.BC_NO_BCC] > gm[SafetyMode.BC_BCC]
+    # Border Control-BCC is near-free (paper: 0.15% / 0.84%).
+    assert gm[SafetyMode.BC_BCC] < 0.03
+
+    full = result.overheads[SafetyMode.FULL_IOMMU]
+    if threading is GPUThreading.HIGHLY:
+        # The paper's saturation story: memory-bound workloads suffer ~8-10x;
+        # compute-rich ones land in the 1.4-2.2x band.
+        for heavy in ("bfs", "lud", "nw"):
+            assert full[heavy] > 4.0, heavy
+        for light in ("backprop", "hotspot", "nn", "pathfinder"):
+            assert 0.5 < full[light] < 4.0, light
+        # Geomean within a factor of ~1.5 of the paper's 374%.
+        assert 2.4 < gm[SafetyMode.FULL_IOMMU] < 5.8
+    else:
+        # Moderately threaded: latency-sensitivity, not saturation.
+        assert 0.3 < gm[SafetyMode.FULL_IOMMU] < 1.6  # paper: 85%
+        assert gm[SafetyMode.CAPI_LIKE] < 0.35  # paper: 16.5%

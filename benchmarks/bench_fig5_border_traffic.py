@@ -1,0 +1,23 @@
+"""Figure 5 — requests per cycle checked by Border Control.
+
+Paper findings encoded as assertions: ~0.1 requests/cycle on average,
+bfs the most demanding, backprop the least — i.e. bandwidth at Border
+Control is never a bottleneck because private caches filter traffic.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_requests_per_cycle(benchmark, full_scale):
+    result = benchmark.pedantic(
+        fig5.run, kwargs={"ops_scale": full_scale}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    rates = result.requests_per_cycle
+    # bfs is the stress case, backprop the gentlest (paper: 0.29 vs 0.025).
+    assert max(rates, key=rates.get) in ("bfs", "nw")
+    assert min(rates, key=rates.get) == "backprop"
+    assert rates["bfs"] > 5 * rates["backprop"]
+    # Average in the paper's neighborhood (0.11), far below 1 per cycle.
+    assert 0.03 < result.average < 0.35
+    assert all(rate < 1.0 for rate in rates.values())

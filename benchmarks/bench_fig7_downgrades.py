@@ -1,0 +1,39 @@
+"""Figure 7 — overhead vs. permission-downgrade frequency.
+
+Shape assertions: overhead is linear in the downgrade rate, negligible
+at today's context-switch rates (10-200/s), below ~1% even at 1000/s,
+and Border Control costs roughly twice the trusted-accelerator baseline
+per downgrade (flushing caches + zeroing the Protection Table).
+"""
+
+import pytest
+
+from repro.experiments import fig7
+from repro.sim.config import GPUThreading, SafetyMode
+
+
+def test_fig7_downgrade_overhead(benchmark, full_scale):
+    result = benchmark.pedantic(
+        fig7.run, kwargs={"ops_scale": full_scale}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    for threading in (GPUThreading.HIGHLY, GPUThreading.MODERATELY):
+        bc = result.series(SafetyMode.BC_BCC, threading)
+        base = result.series(SafetyMode.ATS_ONLY, threading)
+        # Negligible at common rates, small even at 1000/s (paper: <0.5%).
+        at_200 = result.overhead(SafetyMode.BC_BCC, threading, 200)
+        assert at_200 < 0.002
+        assert bc[-1] < 0.01
+        # Border Control pays more per downgrade than the trusted baseline,
+        # by roughly the paper's ~2x factor.
+        ratio = result.bc_to_baseline_cost_ratio(threading)
+        assert 1.2 < ratio < 5.0, threading
+        # Linearity in rate.
+        assert bc[-1] == pytest.approx(
+            result.rates[-1] * result.cost_seconds[SafetyMode.BC_BCC][threading],
+            rel=1e-9,
+        )
+        # Monotone series.
+        assert all(b2 >= b1 for b1, b2 in zip(bc, bc[1:]))
+        assert all(b2 >= b1 for b1, b2 in zip(base, base[1:]))

@@ -1,0 +1,106 @@
+"""Microbenchmarks of the core Border Control structures.
+
+These measure the *simulator's* throughput on the hot operations — the
+checks performed per accelerator request (Fig. 3c), Protection Table
+insertions (Fig. 3b), and the discrete-event kernel itself — useful when
+tuning the reproduction, and a regression guard for its performance.
+"""
+
+import random
+
+from repro.core.bcc import BCCConfig, BorderControlCache
+from repro.core.border_control import BorderControl
+from repro.core.permissions import Perm
+from repro.core.protection_table import ProtectionTable
+from repro.mem.phys_memory import PhysicalMemory
+from repro.sim.engine import Engine
+from repro.vm.frame_allocator import FrameAllocator
+
+MEM = 64 * 1024 * 1024
+
+
+def _bc():
+    phys = PhysicalMemory(MEM)
+    allocator = FrameAllocator(phys)
+    bc = BorderControl("gpu0", phys, allocator)
+    bc.process_init(1)
+    for ppn in range(0, 4096, 2):
+        bc.insert_translation(ppn, Perm.RW)
+    return bc
+
+
+def test_border_check_hit_throughput(benchmark):
+    bc = _bc()
+    rng = random.Random(7)
+    addrs = [rng.randrange(0, 4096) << 12 for _ in range(512)]
+
+    def run():
+        for addr in addrs:
+            bc.check(addr, False)
+
+    benchmark(run)
+
+
+def test_protection_table_insertion_throughput(benchmark):
+    bc = _bc()
+
+    def run():
+        for ppn in range(1024):
+            bc.insert_translation(ppn, Perm.RW)
+
+    benchmark(run)
+
+
+def test_bcc_lookup_throughput(benchmark):
+    phys = PhysicalMemory(MEM)
+    table = ProtectionTable.allocate(phys, FrameAllocator(phys))
+    bcc = BorderControlCache(BCCConfig())
+    rng = random.Random(11)
+    pages = [rng.randrange(0, 8192) for _ in range(512)]
+
+    def run():
+        for ppn in pages:
+            bcc.lookup(ppn, table)
+
+    benchmark(run)
+
+
+def test_protection_table_bit_access(benchmark):
+    phys = PhysicalMemory(MEM)
+    table = ProtectionTable.allocate(phys, FrameAllocator(phys))
+
+    def run():
+        for ppn in range(0, 2048, 3):
+            table.set(ppn, Perm.RW)
+            table.get(ppn)
+
+    benchmark(run)
+
+
+def test_event_kernel_dispatch(benchmark):
+    def run():
+        engine = Engine()
+
+        def proc():
+            for _ in range(200):
+                yield 10
+
+        for _ in range(10):
+            engine.process(proc())
+        engine.run()
+
+    benchmark(run)
+
+
+def test_full_small_simulation(benchmark):
+    """End-to-end simulator speed: one tiny kernel on a BC system."""
+    from repro.sim.config import GPUThreading, SafetyMode
+    from repro.sim.runner import run_single
+
+    def run():
+        return run_single(
+            "bfs", SafetyMode.BC_BCC, GPUThreading.MODERATELY, ops_scale=0.05
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.mem_ops > 0

@@ -1,0 +1,17 @@
+"""§5.2.3 — Protection Table and BCC space overheads."""
+
+import pytest
+
+from repro.experiments import storage
+
+
+def test_storage_overheads(benchmark):
+    result = benchmark.pedantic(storage.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    # 2 bits per 4 KB page = 0.006% of physical memory per accelerator.
+    assert result.table_fraction == pytest.approx(1 / 16384, rel=0.05)
+    # 1 MB table for a 16 GB system (paper §3.1.1).
+    assert result.sixteen_gib_table_bytes == 1024 * 1024
+    # 8 KB of permission bits, 128 MB reach (§3.1.2).
+    assert result.bcc_reach_bytes == 128 * 2**20
+    assert 8192 <= result.bcc_bytes < 9000  # data + 36-bit tags

@@ -1,0 +1,17 @@
+"""Table 2 — configurations under study, derived from SafetyMode."""
+
+from repro.experiments import tables
+from repro.sim.config import SafetyMode
+
+
+def test_table2_configuration_matrix(benchmark):
+    text = benchmark(tables.table2)
+    print("\n" + text)
+    assert "Border Control-BCC" in text
+    # Paper semantics: only the full IOMMU strips the L2; only the BC rows
+    # have a meaningful BCC column.
+    assert SafetyMode.FULL_IOMMU.has_l2_cache is False
+    assert SafetyMode.BC_BCC.has_bcc is True
+    assert SafetyMode.BC_NO_BCC.has_bcc is False
+    assert SafetyMode.CAPI_LIKE.has_bcc is None
+    assert all(m.safe for m in SafetyMode if m is not SafetyMode.ATS_ONLY)

@@ -1,0 +1,19 @@
+"""Table 3 — simulation configuration details."""
+
+from repro.experiments import tables
+
+
+def test_table3_simulation_parameters(benchmark):
+    text = benchmark(tables.table3)
+    print("\n" + text)
+    for expected in (
+        "3 GHz",
+        "700 MHz",
+        "180 GB/s",
+        "64 entries",
+        "512 entries",
+        "8KB",
+        "10 cycles",
+        "100 cycles",
+    ):
+        assert expected in text

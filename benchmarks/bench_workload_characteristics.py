@@ -1,0 +1,36 @@
+"""Workload characterization table (companion to paper §5.1).
+
+Regenerates the measured characteristics of the seven Rodinia proxies
+and asserts the qualitative split the paper describes: regular,
+compute-rich workloads (backprop, hotspot, nn, pathfinder) vs.
+irregular/memory-bound ones (bfs) and cache-dependent dense kernels
+(lud, nw).
+"""
+
+from repro.experiments import workload_table
+from repro.sim.config import GPUThreading
+
+
+def test_workload_characteristics(benchmark, full_scale):
+    table = benchmark.pedantic(
+        workload_table.run,
+        kwargs={"threading": GPUThreading.HIGHLY, "ops_scale": full_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + table.render())
+    results = table.results
+    # Irregular bfs drives the most border traffic; compute-rich backprop
+    # the least (Fig. 5's endpoints).
+    assert results["bfs"].checks_per_cycle == max(
+        r.checks_per_cycle for r in results.values()
+    )
+    assert results["backprop"].checks_per_cycle == min(
+        r.checks_per_cycle for r in results.values()
+    )
+    # All workloads have meaningful cache locality (the calibrated mixes).
+    for name, res in results.items():
+        assert res.l1_hit_ratio > 0.5, name
+        assert res.l2_hit_ratio > 0.6, name
+    # Memory-bound workloads pressure DRAM much harder than compute-rich.
+    assert results["bfs"].dram_utilization > 2 * results["backprop"].dram_utilization

@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Full-size experiment benches reuse the on-disk result cache
+(``.exp_cache/``): the first invocation simulates (minutes), later ones
+reload (seconds). Delete the directory or set ``REPRO_CACHE_DIR`` to
+force fresh simulations.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> float:
+    """Trace scale for the figure benches (1.0 = the calibrated size)."""
+    return 1.0

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Multi-accelerator offload: a GPU and a crypto engine, one sandbox each.
+
+Demonstrates two of the paper's points at once:
+
+* **one Protection Table per accelerator** (§3.1.1) — the GPU's grants
+  never leak to the crypto engine; each accelerator only reaches the
+  pages the ATS translated *for it*;
+* **regular-access accelerators tolerate checking** (§2.3) — the crypto
+  engine streams sequentially, so even paying a border check per block
+  costs it little, while the GPU-class accelerator is the one that needs
+  caches + Border Control (that comparison is Fig. 4's job).
+
+Run:  python examples/crypto_offload.py
+"""
+
+from repro import GPUThreading, Perm, SafetyMode, SystemConfig, System
+from repro.accel.stream import StreamAccelerator, xor_transform
+from repro.core.border_port import BorderControlPort
+from repro.mem.address import PAGE_SHIFT, PAGE_SIZE
+from repro.workloads.base import WorkloadSpec, generate_trace
+
+MEM = 256 * 1024 * 1024
+
+
+def main() -> None:
+    system = System(
+        SystemConfig(
+            safety=SafetyMode.BC_BCC,
+            threading=GPUThreading.MODERATELY,
+            phys_mem_bytes=MEM,
+        )
+    )
+    proc = system.new_process("pipeline-app")
+    system.attach_process(proc)  # gpu0 gets its sandbox
+
+    # Attach a second accelerator: the crypto engine, with its own
+    # Protection Table and its own border checkpoint.
+    crypto = StreamAccelerator(
+        system.engine, system.gpu_clock, system.ats, None, accel_id="crypto0"
+    )
+    crypto_sandbox = system.kernel.attach_accelerator(proc, crypto)
+    system.ats.allow("crypto0", proc.asid)
+    system.ats.attach_border_control("crypto0", crypto_sandbox)
+    crypto.border = BorderControlPort(
+        system.engine, crypto_sandbox, system.dram, system.memctl,
+        bcc_latency_ticks=system.gpu_clock.cycles_to_ticks(10),
+        pt_latency_ticks=system.gpu_clock.cycles_to_ticks(100),
+    )
+    print("active sandboxes:",
+          [a for a, _ in system.kernel.sandboxes.active_sandboxes()])
+
+    # Buffers: plaintext -> (crypto) -> ciphertext, scratch for the GPU.
+    plaintext_vaddr = system.kernel.mmap(proc, 4, Perm.RW)
+    ciphertext_vaddr = system.kernel.mmap(proc, 4, Perm.RW)
+    message = (b"attack at dawn! " * 256)[: 4 * PAGE_SIZE]
+    system.kernel.proc_write(proc, plaintext_vaddr, message)
+
+    gpu_spec = WorkloadSpec(
+        name="gpu-phase",
+        description="concurrent GPU work",
+        footprint_bytes=1024 * 1024,
+        ops_per_wavefront=100,
+        write_fraction=0.3,
+        compute_gap_mean=4.0,
+        pattern="stream",
+        l1_reuse=0.6,
+        l2_reuse=0.2,
+    )
+    trace = generate_trace(gpu_spec, system.kernel, proc, system.config.threading)
+
+    # Launch both accelerators concurrently on the shared memory system.
+    gpu_done = system.gpu.launch(proc.asid, trace)
+    crypto_done = crypto.launch(proc.asid, plaintext_vaddr, ciphertext_vaddr,
+                                4 * PAGE_SIZE)
+    system.engine.run()
+    print(f"GPU kernel finished:    {gpu_done.triggered} "
+          f"({system.gpu.mem_ops} ops)")
+    print(f"crypto engine finished: {crypto_done.triggered} "
+          f"({crypto.blocks_processed} blocks)")
+
+    ciphertext = system.kernel.proc_read(proc, ciphertext_vaddr, 32)
+    print(f"ciphertext sample: {ciphertext[:16].hex()}")
+    assert xor_transform(ciphertext)[:16] == message[:16]
+    print("decrypts correctly: True")
+
+    # Per-accelerator isolation (§3.1.1): each sandbox holds only the
+    # pages the ATS translated for *that* accelerator.
+    plaintext_ppn = proc.page_table.translate(plaintext_vaddr).ppn
+    gpu_area = max(proc.areas.values(), key=lambda a: a.start_vpn)
+    gpu_ppn = proc.page_table.translate(gpu_area.start_vaddr).ppn
+    print()
+    print("per-accelerator Protection Tables (§3.1.1):")
+    print(f"  crypto0 may access the plaintext page:  "
+          f"{crypto_sandbox.check(plaintext_ppn << PAGE_SHIFT, False).allowed}")
+    print(f"  gpu0    may access the plaintext page:  "
+          f"{system.border_control.check(plaintext_ppn << PAGE_SHIFT, False).allowed}")
+    print(f"  gpu0    may access its workload page:   "
+          f"{system.border_control.check(gpu_ppn << PAGE_SHIFT, False).allowed}")
+    print(f"  crypto0 may access the workload page:   "
+          f"{crypto_sandbox.check(gpu_ppn << PAGE_SHIFT, False).allowed}")
+    print(f"violations logged by the OS: {len(system.kernel.violation_log)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""A full HSA-style shared-virtual-memory pipeline (paper §1's motivation).
+
+The flow the paper's introduction argues for — no manual copies,
+"pointer-is-a-pointer" semantics:
+
+1. the CPU initializes input buffers in the process's address space;
+2. the GPU kernel runs on the *same* virtual addresses, sandboxed by
+   Border Control;
+3. the CPU reads the results back — no staging copies anywhere.
+
+The example times each phase and shows the shared DRAM channel and the
+border statistics.
+
+Run:  python examples/hsa_pipeline.py
+"""
+
+from repro import GPUThreading, Perm, SafetyMode, SystemConfig, System
+from repro.cpu.core import CPUProgram
+from repro.workloads.base import WorkloadSpec, generate_trace
+
+MEM = 256 * 1024 * 1024
+
+KERNEL_SPEC = WorkloadSpec(
+    name="vector-transform",
+    description="streaming transform over a shared buffer",
+    footprint_bytes=2 * 1024 * 1024,
+    ops_per_wavefront=200,
+    write_fraction=0.5,
+    compute_gap_mean=6.0,
+    pattern="stream",
+    l1_reuse=0.4,
+    l2_reuse=0.2,
+)
+
+
+def cycles(system, ticks):
+    return system.gpu_clock.ticks_to_cycles(ticks)
+
+
+def main() -> None:
+    system = System(
+        SystemConfig(
+            safety=SafetyMode.BC_BCC,
+            threading=GPUThreading.HIGHLY,
+            phys_mem_bytes=MEM,
+        )
+    )
+    proc = system.new_process("hsa-app")
+    system.attach_process(proc)
+
+    trace = generate_trace(
+        KERNEL_SPEC, system.kernel, proc, system.config.threading, seed=3
+    )
+    area = next(iter(proc.areas.values()))
+    print(f"shared buffer: {area.length // 1024} KiB at vaddr {area.start_vaddr:#x}")
+
+    # Phase 1: CPU initialization (same virtual addresses the GPU will use).
+    init = CPUProgram.memset(area.start_vaddr, area.length)
+    t_init = system.cpu.execute(proc, init)
+    system.cpu.flush_caches()
+    print(f"1. CPU init:      {system.cpu_clock.ticks_to_cycles(t_init):>10.0f} CPU cycles "
+          f"({init.total_mem_ops} stores)")
+
+    # Phase 2: GPU kernel, sandboxed.
+    t_kernel = system.run_kernel(proc, trace)
+    bc = system.border_control
+    print(f"2. GPU kernel:    {cycles(system, t_kernel):>10.0f} GPU cycles "
+          f"({system.gpu.mem_ops} ops, {bc.checks} border checks, "
+          f"{len(bc.violations)} violations)")
+
+    # Completion: Fig. 3e — flush, zero, reclaim.
+    system.detach_process(proc)
+
+    # Phase 3: CPU reads results back, no copies.
+    scan = CPUProgram.memscan(area.start_vaddr, area.length)
+    t_read = system.cpu.execute(proc, scan)
+    print(f"3. CPU readback:  {system.cpu_clock.ticks_to_cycles(t_read):>10.0f} CPU cycles "
+          f"({scan.total_mem_ops} loads)")
+
+    print()
+    print(f"DRAM data moved: {system.dram.bytes_served / 1e6:.1f} MB "
+          f"(one copy of the data, zero staging transfers)")
+    print(f"sandbox reclaimed: {not bc.active}")
+
+
+if __name__ == "__main__":
+    main()

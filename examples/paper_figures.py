@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one go.
+
+This drives the same experiment modules as ``border-control report`` and
+the benchmark suite; with ``--quick`` the traces are scaled down 4x for a
+fast smoke pass (shapes survive, exact percentages wobble).
+
+Run:  python examples/paper_figures.py [--quick]
+"""
+
+import argparse
+import time
+
+from repro.analysis.report import full_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="4x shorter traces")
+    parser.add_argument("--out", default=None, help="also write the report here")
+    args = parser.parse_args()
+
+    start = time.time()
+    report = full_report(quick=args.quick)
+    print(report)
+    print(f"\n[generated in {time.time() - start:.1f}s"
+          f"{' (quick mode)' if args.quick else ''}]")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"[written to {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

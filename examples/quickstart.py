@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: measure Border Control's overhead on one workload.
+
+Builds two identical systems — the unsafe ATS-only baseline and the full
+Border Control configuration (Protection Table + 8 KB BCC) — runs the
+``bfs`` Rodinia-proxy workload on each, and reports the runtime overhead
+and border-crossing statistics the paper's Fig. 4/5 are made of.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GPUThreading, SafetyMode, run_single, runtime_overhead
+
+
+def main() -> None:
+    workload = "bfs"
+    threading = GPUThreading.HIGHLY
+
+    print(f"simulating {workload!r} on the {threading.label.lower()} GPU...")
+    baseline = run_single(workload, SafetyMode.ATS_ONLY, threading)
+    protected = run_single(workload, SafetyMode.BC_BCC, threading)
+
+    overhead = runtime_overhead(protected, baseline)
+    print()
+    print(f"baseline (unsafe) runtime:   {baseline.gpu_cycles:>10.0f} GPU cycles")
+    print(f"Border Control runtime:      {protected.gpu_cycles:>10.0f} GPU cycles")
+    print(f"runtime overhead:            {overhead * 100:>10.2f} %")
+    print()
+    print(f"memory ops issued:           {protected.mem_ops:>10d}")
+    print(f"L1 hit ratio:                {protected.l1_hit_ratio:>10.3f}")
+    print(f"L2 hit ratio:                {protected.l2_hit_ratio:>10.3f}")
+    print(f"border crossings checked:    {protected.border_checks:>10d}")
+    print(f"checks per GPU cycle:        {protected.checks_per_cycle:>10.3f}")
+    print(f"BCC miss ratio:              {protected.bcc_miss_ratio:>10.5f}")
+    print(f"violations (should be 0):    {protected.violations:>10d}")
+    print()
+    print(
+        "The paper reports 0.15% average overhead for the highly threaded\n"
+        "GPU with an 8 KB BCC; a correct workload never trips the border."
+    )
+
+
+if __name__ == "__main__":
+    main()

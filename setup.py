@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work on machines without the ``wheel`` package (offline
+environments), via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

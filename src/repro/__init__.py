@@ -1,0 +1,94 @@
+"""Border Control: Sandboxing Accelerators — a full-system reproduction.
+
+This library reimplements the system of Olson, Power, Hill & Wood,
+*Border Control: Sandboxing Accelerators* (MICRO-48, 2015): a hardware
+sandboxing mechanism that guarantees untrusted accelerators respect the
+OS's page-table permissions, implemented as a per-accelerator Protection
+Table in physical memory plus a small Border Control Cache.
+
+Quick start::
+
+    from repro import SafetyMode, GPUThreading, run_single
+
+    baseline = run_single("bfs", SafetyMode.ATS_ONLY)
+    protected = run_single("bfs", SafetyMode.BC_BCC)
+    print(protected.ticks / baseline.ticks - 1.0)  # ~1% overhead
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's contribution: Protection Table, BCC,
+  Border Control engine, sandbox lifecycle.
+* :mod:`repro.mem`, :mod:`repro.vm`, :mod:`repro.osmodel`,
+  :mod:`repro.iommu`, :mod:`repro.accel` — the simulated substrate:
+  memory hierarchy, virtual memory, OS kernel, IOMMU/ATS, GPU.
+* :mod:`repro.sim` — discrete-event kernel, configurations, runner.
+* :mod:`repro.workloads` — Rodinia-proxy trace generators.
+* :mod:`repro.experiments`, :mod:`repro.analysis` — the paper's tables
+  and figures, regenerated.
+"""
+
+from repro.core import (
+    AccessDecision,
+    BCCConfig,
+    BorderControl,
+    BorderControlCache,
+    Perm,
+    ProtectionTable,
+    SandboxManager,
+    ViolationRecord,
+)
+from repro.errors import (
+    AcceleratorDisabledError,
+    BorderControlViolation,
+    ConfigurationError,
+    PageFault,
+    ProtectionFault,
+    ReproError,
+    UnmappedAddressError,
+)
+from repro.sim.config import GPUThreading, SafetyMode, SystemConfig, TimingParams
+from repro.sim.runner import (
+    RunResult,
+    geometric_mean,
+    run_single,
+    runtime_overhead,
+)
+from repro.sim.system import System
+from repro.osmodel import Kernel, Process, ViolationPolicy
+from repro.workloads import WORKLOADS, WorkloadSpec, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorDisabledError",
+    "AccessDecision",
+    "BCCConfig",
+    "BorderControl",
+    "BorderControlCache",
+    "BorderControlViolation",
+    "ConfigurationError",
+    "GPUThreading",
+    "Kernel",
+    "PageFault",
+    "Perm",
+    "Process",
+    "ProtectionFault",
+    "ProtectionTable",
+    "ReproError",
+    "RunResult",
+    "SafetyMode",
+    "SandboxManager",
+    "System",
+    "SystemConfig",
+    "TimingParams",
+    "UnmappedAddressError",
+    "ViolationPolicy",
+    "ViolationRecord",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "generate_trace",
+    "geometric_mean",
+    "run_single",
+    "runtime_overhead",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Accelerator models.
+
+* :class:`~repro.accel.base.AcceleratorBase` — the kernel-facing protocol
+  every accelerator implements (attach/detach, shootdown, cache flush,
+  disable).
+* :class:`~repro.accel.gpu.GPU` — the paper's evaluation vehicle: a
+  GPGPU with compute units and wavefronts replaying workload traces
+  (highly threaded: 8 CUs; moderately threaded: 1 CU — Table 3).
+* :mod:`~repro.accel.paths` — the memory-path strategies that realize the
+  five configurations of Table 2 (cached hierarchy with or without Border
+  Control, full IOMMU, CAPI-like).
+* :mod:`~repro.accel.faulty` — buggy and malicious accelerators used to
+  demonstrate the threat model: hardware trojans scanning physical
+  memory, stale-TLB bugs, wild writes, and flush-ignoring caches.
+"""
+
+from repro.accel.base import AcceleratorBase
+from repro.accel.gpu import GPU, GPUGeometry, KernelTrace
+from repro.accel.paths import CachedHierarchyPath, CAPIPathAdapter, FullIOMMUPathAdapter
+from repro.accel.stream import StreamAccelerator
+from repro.accel.faulty import (
+    FlushIgnoringGPU,
+    MaliciousEngine,
+    StaleTLBAccelerator,
+    WildWriteAccelerator,
+)
+
+__all__ = [
+    "AcceleratorBase",
+    "CachedHierarchyPath",
+    "CAPIPathAdapter",
+    "FullIOMMUPathAdapter",
+    "FlushIgnoringGPU",
+    "GPU",
+    "GPUGeometry",
+    "KernelTrace",
+    "MaliciousEngine",
+    "StaleTLBAccelerator",
+    "StreamAccelerator",
+    "WildWriteAccelerator",
+]

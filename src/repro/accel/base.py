@@ -1,0 +1,81 @@
+"""The kernel-facing accelerator protocol.
+
+The OS treats accelerators as black boxes (paper §2.2) but still *asks*
+them to invalidate TLB entries on shootdowns and to flush their caches on
+permission downgrades and process completion. A correct accelerator
+complies; a buggy or malicious one may not — and Border Control's safety
+explicitly does not depend on compliance (§3.2.4: ignored flushes just
+produce blocked writebacks later).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, Optional, Set
+
+from repro.core.border_control import BorderControl
+
+__all__ = ["AcceleratorBase"]
+
+
+class AcceleratorBase:
+    """Base class implementing bookkeeping; subclasses add behavior."""
+
+    def __init__(self, accel_id: str) -> None:
+        self.accel_id = accel_id
+        self.enabled = True
+        self.asids: Set[int] = set()
+        self.sandboxes: Dict[int, Optional[BorderControl]] = {}
+
+    # -- process lifecycle (driven by the kernel) ----------------------------
+
+    def attach_process(self, proc, sandbox: Optional[BorderControl]) -> None:
+        self.asids.add(proc.asid)
+        self.sandboxes[proc.asid] = sandbox
+
+    def detach_process(self, proc) -> None:
+        self.asids.discard(proc.asid)
+        self.sandboxes.pop(proc.asid, None)
+
+    # -- shootdown / flush (overridden by real models) --------------------------
+
+    def shootdown(self, asid: int, vpn: Optional[int] = None) -> None:
+        """Invalidate cached translations for (asid, vpn) or all of asid."""
+
+    def drain(self, ticks: int) -> None:
+        """Stop issuing new requests for ``ticks`` (simple fixed stall)."""
+
+    def quiesce_g(self, drain_ticks: int) -> Generator:
+        """Downgrade protocol (§3.2.4/§5.2.4): stop issuing, wait until
+        every outstanding request has finished, then hold the accelerator
+        stalled until :meth:`resume` is called. Simulation generator.
+
+        The hold matters: permissions are revoked only after the flush,
+        and a request translated in between would race the revocation —
+        hardware keeps the engine quiesced for the whole window.
+        """
+        if drain_ticks:
+            yield drain_ticks
+        return None
+
+    def resume(self) -> None:
+        """Release a :meth:`quiesce_g` hold (the downgrade completed)."""
+
+    def flush_caches(self) -> Generator:
+        """Write back all dirty state; returns the number of writebacks."""
+        return 0
+        yield  # pragma: no cover - empty generator
+
+    def flush_pages(self, ppns: Iterable[int]) -> Generator:
+        """Selective flush of the given physical pages (§3.2.4 option)."""
+        return 0
+        yield  # pragma: no cover - empty generator
+
+    # -- OS sanctions -------------------------------------------------------
+
+    def disable(self) -> None:
+        """The OS cuts the accelerator off after a violation (§3.2.3)."""
+        self.enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "enabled" if self.enabled else "DISABLED"
+        return f"{type(self).__name__}({self.accel_id!r}, {state})"

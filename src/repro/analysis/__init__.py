@@ -1,0 +1,11 @@
+"""Rendering and reporting: text tables, ASCII charts, the full report.
+
+The experiment drivers return plain-data results; this package turns
+them into terminal-friendly tables and charts and assembles the full
+paper-vs-measured report used to populate EXPERIMENTS.md.
+"""
+
+from repro.analysis.ascii_chart import bar_chart, line_chart
+from repro.analysis.report import full_report
+
+__all__ = ["bar_chart", "line_chart", "full_report"]

@@ -1,0 +1,69 @@
+"""Minimal ASCII chart rendering for terminal reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 48,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart, one bar per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max((abs(v) for v in values), default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        length = 0 if peak == 0 else int(round(abs(value) / peak * width))
+        lines.append(
+            f"{label:<{label_width}}  {'#' * length:<{width}}  " + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+    y_fmt: str = "{:.3f}",
+) -> str:
+    """Scatter-style line chart; one glyph per series."""
+    glyphs = "*o+x#@%&"
+    points: List[tuple] = []
+    y_max = 0.0
+    x_min = min(x_values)
+    x_max = max(x_values)
+    for si, (name, ys) in enumerate(series.items()):
+        for x, y in zip(x_values, ys):
+            if y is None:
+                continue
+            y_max = max(y_max, y)
+            points.append((x, y, glyphs[si % len(glyphs)]))
+    if y_max == 0:
+        y_max = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_span = (x_max - x_min) or 1.0
+    for x, y, glyph in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int(y / y_max * (height - 1))
+        grid[row][col] = glyph
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        y_label = y_fmt.format(y_max * (height - 1 - i) / (height - 1))
+        lines.append(f"{y_label:>10} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11} {x_min:g}{'':>{max(1, width - 12)}}{x_max:g}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>11} {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""``border-control`` command-line interface.
+
+Subcommands:
+
+* ``report`` — regenerate every table and figure (paper vs. measured).
+* ``run`` — simulate one (workload, configuration) pair and print stats.
+* ``tables`` — print Tables 1-3 only (no simulation).
+* ``fig4|fig5|fig6|fig7`` — regenerate a single figure.
+* ``workloads`` — list the available workload specs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.config import GPUThreading, SafetyMode
+
+__all__ = ["main"]
+
+
+def _threading(name: str) -> GPUThreading:
+    return GPUThreading.HIGHLY if name == "highly" else GPUThreading.MODERATELY
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--quick", action="store_true", help="4x shorter traces (fast smoke pass)"
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, help="subset of workloads"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="border-control",
+        description="Border Control (MICRO 2015) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="full paper-vs-measured report")
+    _add_common(p_report)
+
+    p_run = sub.add_parser("run", help="simulate one workload/configuration")
+    p_run.add_argument("workload")
+    p_run.add_argument(
+        "--safety",
+        choices=[m.value for m in SafetyMode],
+        default=SafetyMode.BC_BCC.value,
+    )
+    p_run.add_argument("--gpu", choices=["highly", "moderately"], default="highly")
+    p_run.add_argument("--large-pages", action="store_true",
+                       help="back the footprint with 2 MB pages (§3.4.4)")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the result as JSON instead of text")
+    _add_common(p_run)
+
+    sub.add_parser("tables", help="print Tables 1-3")
+    for fig in ("fig4", "fig5", "fig6", "fig7"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        _add_common(p)
+        if fig == "fig4":
+            p.add_argument(
+                "--gpu", choices=["highly", "moderately", "both"], default="both"
+            )
+
+    sub.add_parser("workloads", help="list workload specs")
+
+    p_export = sub.add_parser("export", help="write CSV/JSON artifacts")
+    p_export.add_argument("--out", default="results", help="output directory")
+    _add_common(p_export)
+
+    args = parser.parse_args(argv)
+    ops_scale = 0.25 if getattr(args, "quick", False) else 1.0
+
+    if args.command == "report":
+        from repro.analysis.report import full_report
+
+        print(full_report(quick=args.quick, seed=args.seed, workloads=args.workloads))
+        return 0
+
+    if args.command == "run":
+        from repro.sim.runner import run_single
+
+        result = run_single(
+            args.workload,
+            SafetyMode(args.safety),
+            _threading(args.gpu),
+            seed=args.seed,
+            ops_scale=ops_scale,
+            large_pages=args.large_pages,
+        )
+        if args.json:
+            import json
+
+            from repro.experiments.common import _result_to_dict
+
+            print(json.dumps(_result_to_dict(result), indent=2))
+            return 0
+        print(f"workload:            {result.workload}")
+        print(f"configuration:       {result.safety.label} / {result.threading.label}")
+        print(f"runtime:             {result.gpu_cycles:.0f} GPU cycles")
+        print(f"memory ops:          {result.mem_ops}")
+        print(f"L1 hit ratio:        {result.l1_hit_ratio:.3f}")
+        print(f"L2 hit ratio:        {result.l2_hit_ratio:.3f}")
+        print(f"border checks:       {result.border_checks}")
+        print(f"checks per cycle:    {result.checks_per_cycle:.3f}")
+        print(f"BCC miss ratio:      {result.bcc_miss_ratio:.5f}")
+        print(f"DRAM bytes:          {result.dram_bytes}")
+        print(f"DRAM utilization:    {result.dram_utilization:.3f}")
+        print(f"violations:          {result.violations}")
+        return 0
+
+    if args.command == "tables":
+        from repro.experiments import tables
+
+        print(tables.table1())
+        print()
+        print(tables.table2())
+        print()
+        print(tables.table3())
+        return 0
+
+    if args.command == "fig4":
+        from repro.experiments import fig4
+
+        gpus = {
+            "highly": [GPUThreading.HIGHLY],
+            "moderately": [GPUThreading.MODERATELY],
+            "both": [GPUThreading.HIGHLY, GPUThreading.MODERATELY],
+        }[args.gpu]
+        for threading in gpus:
+            print(
+                fig4.run(
+                    threading,
+                    workloads=args.workloads,
+                    seed=args.seed,
+                    ops_scale=ops_scale,
+                ).render()
+            )
+            print()
+        return 0
+
+    if args.command in ("fig5", "fig6", "fig7"):
+        from repro.experiments import fig5, fig6, fig7
+
+        driver = {"fig5": fig5, "fig6": fig6, "fig7": fig7}[args.command]
+        print(
+            driver.run(
+                workloads=args.workloads, seed=args.seed, ops_scale=ops_scale
+            ).render()
+        )
+        return 0
+
+    if args.command == "export":
+        from repro.analysis.export import export_all
+
+        written = export_all(
+            args.out, quick=args.quick, seed=args.seed, workloads=args.workloads
+        )
+        for name, path in written.items():
+            print(f"{name:<8s} -> {path}")
+        return 0
+
+    if args.command == "workloads":
+        from repro.workloads import WORKLOADS
+
+        for name, spec in WORKLOADS.items():
+            print(
+                f"{name:<12s} {spec.description} "
+                f"(footprint {spec.footprint_bytes // 2**20} MiB, "
+                f"pattern {spec.pattern}, writes {spec.write_fraction:.0%})"
+            )
+        return 0
+
+    parser.error(f"unknown command {args.command}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `border-control workloads | head`
+        sys.exit(0)

@@ -1,0 +1,103 @@
+"""Timing wrapper placing Border Control on the memory path.
+
+This is the hardware position of Fig. 2: between the accelerator's
+physical caches and the rest of the memory hierarchy. Every access the
+accelerator L2 sends toward memory — fills and writebacks — flows through
+:class:`BorderControlPort`, which consults the functional
+:class:`~repro.core.border_control.BorderControl` engine and charges:
+
+* a BCC lookup (10 GPU cycles, Table 3) when the BCC hits;
+* a Protection Table access (100 cycles, plus a 128 B read that competes
+  for DRAM bandwidth) when the BCC misses or no BCC is configured.
+
+Reads proceed *in parallel* with the permission lookup (§3.1.1: the flat
+table guarantees single-access lookups that "can proceed in parallel with
+read requests"); data is simply not returned if the check fails. Writes
+must pass the check before they are forwarded.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.border_control import BorderControl
+from repro.mem.address import BLOCK_SIZE
+from repro.mem.dram import DRAM
+from repro.mem.port import MemoryPort
+from repro.sim.engine import Engine
+from repro.sim.stats import StatDomain
+
+__all__ = ["BorderControlPort"]
+
+
+class BorderControlPort(MemoryPort):
+    """The border checkpoint between untrusted caches and trusted memory."""
+
+    name = "border"
+
+    def __init__(
+        self,
+        engine: Engine,
+        bc: BorderControl,
+        dram: DRAM,
+        downstream: MemoryPort,
+        bcc_latency_ticks: int,
+        pt_latency_ticks: int,
+        pt_fetch_bytes: int = BLOCK_SIZE,
+        stats: Optional[StatDomain] = None,
+    ) -> None:
+        self._engine = engine
+        self.bc = bc
+        self.dram = dram
+        self.downstream = downstream
+        self.bcc_latency_ticks = bcc_latency_ticks
+        self.pt_latency_ticks = pt_latency_ticks
+        # Without a BCC there is nothing to fill, so the checker reads just
+        # the 64-bit word holding the page's 2-bit field; with a BCC a full
+        # 128 B table block is fetched into the cache (§3.1.2).
+        self.pt_fetch_bytes = pt_fetch_bytes
+        stats = stats or StatDomain("border_port")
+        self._checked = stats.counter("checked")
+        self._blocked = stats.counter("blocked")
+        # Optional trace of (ppn, is_write) crossings, used by the Fig. 6
+        # BCC sensitivity sweep to replay real border streams offline.
+        self.ppn_recorder: Optional[list] = None
+
+    def _check_delay(self, bcc_hit: bool) -> int:
+        """Latency of the permission lookup; PT reads also consume DRAM
+        bandwidth (the §3.1.2 motivation for having a BCC at all)."""
+        if bcc_hit:
+            return self.bcc_latency_ticks
+        dram_delay = self.dram.access(self.pt_fetch_bytes, write=False)
+        return self.bcc_latency_ticks + max(self.pt_latency_ticks, dram_delay)
+
+    def access(
+        self, addr: int, size: int, write: bool, data: Optional[bytes] = None
+    ) -> Generator:
+        self._checked.inc()
+        if self.ppn_recorder is not None:
+            self.ppn_recorder.append((addr >> 12, write))
+        decision = self.bc.check(addr, write)
+        delay = self._check_delay(decision.bcc_hit)
+        if write:
+            # Writes commit only after the check passes.
+            if delay:
+                yield delay
+            if not decision.allowed:
+                self._blocked.inc()
+                return None
+            return (yield from self.downstream.access(addr, size, True, data))
+        if not decision.allowed:
+            # No data crosses the border; the memory read never issues.
+            if delay:
+                yield delay
+            self._blocked.inc()
+            return None
+        # Read: the lookup overlaps the memory access; the slower of the
+        # two determines when data may cross back into the accelerator.
+        start = self._engine.now
+        result = yield from self.downstream.access(addr, size, False)
+        elapsed = self._engine.now - start
+        if delay > elapsed:
+            yield delay - elapsed
+        return result

@@ -1,0 +1,47 @@
+"""Read/write permission flags.
+
+Border Control deliberately tracks only read and write permission per
+physical page: execute permission cannot be enforced at the border because
+once a block is inside the accelerator, Border Control cannot observe
+whether it is used as data or instructions (paper §3.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Perm", "PERM_NONE", "PERM_R", "PERM_W", "PERM_RW"]
+
+
+class Perm(enum.IntFlag):
+    """Per-page permission bits, 2 bits per page as in the Protection Table."""
+
+    NONE = 0
+    R = 1
+    W = 2
+    RW = 3
+
+    @property
+    def readable(self) -> bool:
+        return bool(self & Perm.R)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self & Perm.W)
+
+    def allows(self, write: bool) -> bool:
+        """Does this permission allow a read (write=False) or write access?"""
+        return self.writable if write else self.readable
+
+    def union(self, other: "Perm") -> "Perm":
+        """Union of permissions — the multiprocess-accelerator rule (§3.3)."""
+        return Perm(self | other)
+
+    def describe(self) -> str:
+        return ("R" if self.readable else "-") + ("W" if self.writable else "-")
+
+
+PERM_NONE = Perm.NONE
+PERM_R = Perm.R
+PERM_W = Perm.W
+PERM_RW = Perm.RW

@@ -1,0 +1,13 @@
+"""The trusted CPU core (Table 3: 1 core, 64 KB L1, 2 MB L2, 3 GHz).
+
+The CPU is first-party, trusted hardware: its MMU walks page tables
+itself and enforces permissions before any access leaves the core, so no
+Border Control applies to it. In the paper's evaluation the CPU mostly
+initializes workload data and launches kernels (Rodinia's structure);
+the model here does exactly that, with its own cache hierarchy sharing
+the DRAM channel with the accelerator.
+"""
+
+from repro.cpu.core import CPUCore, CPUProgram
+
+__all__ = ["CPUCore", "CPUProgram"]

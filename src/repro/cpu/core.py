@@ -1,0 +1,197 @@
+"""A simple in-order CPU core with a two-level cache hierarchy.
+
+The core executes :class:`CPUProgram` streams — (compute-gap, vaddr,
+is_write) triples like the GPU's wavefront traces, but through the CPU's
+MMU (hardware page walks, permission checks, OS-serviced faults) and its
+trusted write-back caches. It shares the DRAM bandwidth server with the
+rest of the system, so heavy CPU phases visibly pressure accelerator
+memory traffic and vice versa.
+
+Coherence note: the CPU caches are trusted and, in the timing model, the
+CPU and accelerator phases of a run don't overlap on shared data (the
+Rodinia pattern: init on CPU, flush, launch kernel, read results after
+completion). :meth:`CPUCore.flush_caches` publishes CPU writes before a
+kernel launch; the functional MOESI model in :mod:`repro.mem.coherence`
+covers the fine-grained-sharing case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import PageFault, ProtectionFault
+from repro.mem.address import BLOCK_SIZE, PAGE_SHIFT
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.port import MemoryPort
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.process import Process
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.sim.stats import StatDomain
+from repro.vm.tlb import TLB, TLBEntry
+
+__all__ = ["CPUCore", "CPUProgram"]
+
+# One CPU operation: (compute-gap cycles, vaddr or None, is_write).
+CPUOp = Tuple[int, Optional[int], bool]
+
+
+@dataclass
+class CPUProgram:
+    """An instruction stream for the core."""
+
+    name: str
+    ops: List[CPUOp] = field(default_factory=list)
+
+    @classmethod
+    def memset(cls, vaddr: int, nbytes: int, gap: int = 2) -> "CPUProgram":
+        """Streaming stores over ``[vaddr, vaddr+nbytes)`` (data init)."""
+        ops = [
+            (gap, vaddr + off, True) for off in range(0, nbytes, BLOCK_SIZE)
+        ]
+        return cls(name=f"memset@{vaddr:#x}", ops=ops)
+
+    @classmethod
+    def memscan(cls, vaddr: int, nbytes: int, gap: int = 2) -> "CPUProgram":
+        """Streaming loads (result readback / checksum pass)."""
+        ops = [
+            (gap, vaddr + off, False) for off in range(0, nbytes, BLOCK_SIZE)
+        ]
+        return cls(name=f"memscan@{vaddr:#x}", ops=ops)
+
+    @property
+    def total_mem_ops(self) -> int:
+        return sum(1 for op in self.ops if op[1] is not None)
+
+
+class CPUCore:
+    """One in-order core: TLB + L1 + L2 over the shared memory controller."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        clock: Clock,
+        kernel: Kernel,
+        memory: MemoryPort,
+        l1_bytes: int = 64 * 1024,
+        l2_bytes: int = 2 * 1024 * 1024,
+        tlb_entries: int = 64,
+        stats: Optional[StatDomain] = None,
+    ) -> None:
+        self.engine = engine
+        self.clock = clock
+        self.kernel = kernel
+        self.stats = stats or StatDomain("cpu")
+        self.l2 = Cache(
+            engine,
+            CacheConfig(
+                name="cpu-l2",
+                size_bytes=l2_bytes,
+                associativity=8,
+                hit_latency_ticks=clock.cycles_to_ticks(12),
+            ),
+            memory,
+            self.stats.child("l2"),
+        )
+        self.l1 = Cache(
+            engine,
+            CacheConfig(
+                name="cpu-l1",
+                size_bytes=l1_bytes,
+                associativity=8,
+                hit_latency_ticks=clock.cycles_to_ticks(4),
+            ),
+            self.l2,
+            self.stats.child("l1"),
+        )
+        self.tlb = TLB("cpu-core-tlb", tlb_entries, self.stats.child("tlb"))
+        self._ops = self.stats.counter("mem_ops")
+        self._faults = self.stats.counter("faults_serviced")
+        self._walk_penalty_ticks = clock.cycles_to_ticks(80)
+
+    # -- translation (trusted: the core walks the page table itself) ---------
+
+    def _translate(self, proc: Process, vaddr: int, write: bool) -> int:
+        vpn = vaddr >> PAGE_SHIFT
+        entry = self.tlb.lookup(proc.asid, vpn)
+        if entry is None:
+            translation = proc.page_table.translate_vpn(vpn)
+            if translation is None:
+                # OS services the fault (lazy allocation, CoW, swap-in).
+                self._faults.inc()
+                self.kernel.handle_page_fault(proc, vaddr, write)
+                translation = proc.page_table.translate_vpn(vpn)
+                if translation is None:  # pragma: no cover - defensive
+                    raise PageFault(vaddr, write)
+            offset = vpn - translation.vpn
+            entry = TLBEntry(
+                asid=proc.asid,
+                vpn=vpn,
+                ppn=translation.ppn + offset,
+                perms=translation.perms,
+            )
+            self.tlb.insert(entry)
+        if not entry.perms.allows(write):
+            if write and proc.area_for_vpn(vpn) is not None:
+                # Possible CoW: let the OS try before faulting for real.
+                try:
+                    self.kernel.handle_page_fault(proc, vaddr, write)
+                except PageFault:
+                    raise ProtectionFault(vaddr, write) from None
+                self._faults.inc()
+                self.tlb.invalidate(proc.asid, vpn)
+                return self._translate(proc, vaddr, write)
+            raise ProtectionFault(vaddr, write)
+        return (entry.ppn << PAGE_SHIFT) | (vaddr & 0xFFF)
+
+    # -- execution ------------------------------------------------------------
+
+    def run_program(self, proc: Process, program: CPUProgram) -> Generator:
+        """Simulation process executing the stream in order."""
+        clock = self.clock
+        for gap, vaddr, write in program.ops:
+            if gap:
+                yield clock.cycles_to_ticks(gap)
+            if vaddr is None:
+                continue
+            paddr = self._translate(proc, vaddr, write)
+            self._ops.inc()
+            size = min(BLOCK_SIZE, BLOCK_SIZE - (paddr & (BLOCK_SIZE - 1)))
+            if write:
+                payload = (vaddr & (2**64 - 1)).to_bytes(8, "little") * (size // 8 or 1)
+                yield from self.l1.access(paddr, size, True, payload[:size])
+            else:
+                yield from self.l1.access(paddr, size, False)
+        return program.total_mem_ops
+
+    def execute(self, proc: Process, program: CPUProgram) -> int:
+        """Synchronous facade: run to completion, return elapsed ticks."""
+        start = self.engine.now
+        self.engine.run_process(
+            self.run_program(proc, program), name=f"cpu-{program.name}"
+        )
+        return self.engine.now - start
+
+    # -- maintenance ------------------------------------------------------------
+
+    def flush_caches(self) -> int:
+        """Publish dirty CPU data to memory (before a kernel launch)."""
+        written = self.engine.run_process(self.l1.flush_all())
+        written += self.engine.run_process(self.l2.flush_all())
+        return written
+
+    def context_switch(self) -> None:
+        self.tlb.invalidate_all()
+
+    # -- shootdown listener protocol ----------------------------------------------
+
+    def shootdown(self, asid: int, vpn: Optional[int] = None) -> None:
+        if vpn is None:
+            self.tlb.invalidate_asid(asid)
+        else:
+            self.tlb.invalidate(asid, vpn)
+
+    @property
+    def mem_ops(self) -> int:
+        return self._ops.value

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the Border Control reproduction.
+
+Hardware-visible error conditions (access violations, faults) are modeled
+as events delivered to the OS, not exceptions; the exceptions here signal
+*misuse of the library* or conditions the simulated OS raises to its
+caller (e.g. a process touching an unmapped virtual address).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "MemoryError_",
+    "UnmappedAddressError",
+    "PageFault",
+    "ProtectionFault",
+    "AcceleratorDisabledError",
+    "BorderControlViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for every library-specific exception."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent system configuration."""
+
+
+class MemoryError_(ReproError):
+    """Base for simulated-memory errors (named to avoid the builtin)."""
+
+
+class UnmappedAddressError(MemoryError_):
+    """A physical access outside any backed region of physical memory."""
+
+
+class PageFault(MemoryError_):
+    """A virtual access to an unmapped page (the OS may service it)."""
+
+    def __init__(self, vaddr: int, write: bool = False) -> None:
+        super().__init__(f"page fault at {vaddr:#x} ({'write' if write else 'read'})")
+        self.vaddr = vaddr
+        self.write = write
+
+
+class ProtectionFault(MemoryError_):
+    """A virtual access violating page-table permissions (CPU-side)."""
+
+    def __init__(self, vaddr: int, write: bool = False) -> None:
+        super().__init__(
+            f"protection fault at {vaddr:#x} ({'write' if write else 'read'})"
+        )
+        self.vaddr = vaddr
+        self.write = write
+
+
+class AcceleratorDisabledError(ReproError):
+    """Work was submitted to an accelerator the OS has disabled."""
+
+
+class BorderControlViolation(ReproError):
+    """Raised when a blocked border crossing is surfaced synchronously.
+
+    In hardware the violation is an exception delivered to the OS and the
+    offending request is dropped; the functional model mirrors that, but
+    test and attack harnesses can also observe the violation as a Python
+    exception through :class:`repro.core.border_control.BorderControl`
+    strict mode.
+    """
+
+    def __init__(self, paddr: int, write: bool, accel_id: str) -> None:
+        kind = "write" if write else "read"
+        super().__init__(
+            f"border control blocked {kind} of physical address {paddr:#x} "
+            f"from accelerator {accel_id!r}"
+        )
+        self.paddr = paddr
+        self.write = write
+        self.accel_id = accel_id

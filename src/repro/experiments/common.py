@@ -1,0 +1,151 @@
+"""Shared infrastructure for experiment drivers: caching and formatting.
+
+Simulations are deterministic given their parameters, so results are
+cached — in memory for a process's lifetime and as JSON on disk under
+``.exp_cache/`` in the working directory. Bump :data:`CACHE_VERSION`
+whenever the timing model changes in a way that invalidates old numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.runner import RunResult, run_single
+
+__all__ = [
+    "CACHE_VERSION",
+    "cached_run",
+    "clear_cache",
+    "fmt_percent",
+    "fmt_ratio",
+    "text_table",
+]
+
+CACHE_VERSION = 5
+
+_memory_cache: Dict[str, RunResult] = {}
+
+
+def _cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".exp_cache"))
+
+
+def _key(workload: str, safety: SafetyMode, threading: GPUThreading, **kwargs) -> str:
+    blob = json.dumps(
+        {
+            "v": CACHE_VERSION,
+            "workload": workload,
+            "safety": safety.value,
+            "threading": threading.value,
+            **{k: v for k, v in sorted(kwargs.items())},
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+_SKIP_FIELDS = {"border_trace"}
+
+
+def _result_to_dict(result: RunResult) -> dict:
+    out = {}
+    for field in dataclasses.fields(RunResult):
+        if field.name in _SKIP_FIELDS:
+            continue
+        value = getattr(result, field.name)
+        if isinstance(value, (SafetyMode, GPUThreading)):
+            value = value.value
+        out[field.name] = value
+    return out
+
+
+def _result_from_dict(data: dict) -> RunResult:
+    data = dict(data)
+    data["safety"] = SafetyMode(data["safety"])
+    data["threading"] = GPUThreading(data["threading"])
+    return RunResult(**data)
+
+
+def cached_run(
+    workload: str,
+    safety: SafetyMode,
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+    downgrade_interval_cycles: Optional[float] = None,
+    use_disk: bool = True,
+) -> RunResult:
+    """Run (or retrieve) one simulation. Border traces are never cached."""
+    key = _key(
+        workload,
+        safety,
+        threading,
+        seed=seed,
+        ops_scale=ops_scale,
+        dgi=downgrade_interval_cycles,
+    )
+    if key in _memory_cache:
+        return _memory_cache[key]
+    path = _cache_dir() / f"{key}.json"
+    if use_disk and path.exists():
+        try:
+            result = _result_from_dict(json.loads(path.read_text()))
+            _memory_cache[key] = result
+            return result
+        except (ValueError, TypeError, KeyError):
+            path.unlink()  # stale or corrupt cache entry
+    result = run_single(
+        workload,
+        safety,
+        threading,
+        seed=seed,
+        ops_scale=ops_scale,
+        downgrade_interval_cycles=downgrade_interval_cycles,
+    )
+    _memory_cache[key] = result
+    if use_disk:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(_result_to_dict(result)))
+    return result
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop memoized results (and optionally the on-disk cache)."""
+    _memory_cache.clear()
+    if disk and _cache_dir().is_dir():
+        for path in _cache_dir().glob("*.json"):
+            path.unlink()
+
+
+# -- text rendering helpers ---------------------------------------------------
+
+
+def fmt_percent(value: float) -> str:
+    return f"{value * 100:.2f}%"
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def text_table(headers: List[str], rows: List[List[str]], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Figure 4 — runtime overhead of each safety approach vs. the unsafe
+ATS-only IOMMU baseline, per workload, for both GPU configurations.
+
+Paper reference values (geometric means):
+
+======================  ================  ====================
+Configuration           Highly threaded   Moderately threaded
+======================  ================  ====================
+Full IOMMU              374%              85%
+CAPI-like               3.81%             16.5%
+Border Control-noBCC    2.04%             7.26%
+Border Control-BCC      0.15%             0.84%
+======================  ================  ====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import cached_run, fmt_percent, text_table
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.runner import geometric_mean, runtime_overhead
+from repro.workloads.registry import workload_names
+
+__all__ = ["Fig4Result", "run", "PAPER_GEOMEANS", "SAFETY_MODES"]
+
+SAFETY_MODES = [
+    SafetyMode.FULL_IOMMU,
+    SafetyMode.CAPI_LIKE,
+    SafetyMode.BC_NO_BCC,
+    SafetyMode.BC_BCC,
+]
+
+PAPER_GEOMEANS: Dict[GPUThreading, Dict[SafetyMode, float]] = {
+    GPUThreading.HIGHLY: {
+        SafetyMode.FULL_IOMMU: 3.74,
+        SafetyMode.CAPI_LIKE: 0.0381,
+        SafetyMode.BC_NO_BCC: 0.0204,
+        SafetyMode.BC_BCC: 0.0015,
+    },
+    GPUThreading.MODERATELY: {
+        SafetyMode.FULL_IOMMU: 0.85,
+        SafetyMode.CAPI_LIKE: 0.165,
+        SafetyMode.BC_NO_BCC: 0.0726,
+        SafetyMode.BC_BCC: 0.0084,
+    },
+}
+
+# Per-workload full-IOMMU overheads readable from Fig. 4a's annotations.
+PAPER_FULL_IOMMU_HIGHLY = {
+    "backprop": 1.43,
+    "bfs": 9.83,
+    "hotspot": 1.60,
+    "lud": 8.98,
+    "nn": 1.76,
+    "nw": 8.14,
+    "pathfinder": 2.15,
+}
+
+
+@dataclass
+class Fig4Result:
+    """Per-workload overheads for one GPU threading configuration."""
+
+    threading: GPUThreading
+    # overheads[mode][workload] -> fractional overhead (0.15 == 15%)
+    overheads: Dict[SafetyMode, Dict[str, float]] = field(default_factory=dict)
+    baseline_cycles: Dict[str, float] = field(default_factory=dict)
+
+    def geomean(self, mode: SafetyMode) -> float:
+        return geometric_mean(list(self.overheads[mode].values()))
+
+    def render(self) -> str:
+        headers = ["workload"] + [m.label for m in SAFETY_MODES]
+        rows = []
+        for name in self.overheads[SAFETY_MODES[0]]:
+            rows.append(
+                [name]
+                + [fmt_percent(self.overheads[m][name]) for m in SAFETY_MODES]
+            )
+        rows.append(
+            ["GEOMEAN"] + [fmt_percent(self.geomean(m)) for m in SAFETY_MODES]
+        )
+        rows.append(
+            ["paper"]
+            + [fmt_percent(PAPER_GEOMEANS[self.threading][m]) for m in SAFETY_MODES]
+        )
+        return text_table(
+            headers,
+            rows,
+            title=(
+                f"Figure 4{'a' if self.threading is GPUThreading.HIGHLY else 'b'}: "
+                f"runtime overhead vs. ATS-only IOMMU ({self.threading.label})"
+            ),
+        )
+
+
+def run(
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    workloads: Optional[List[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> Fig4Result:
+    """Simulate every (workload, safety mode) pair for one GPU config."""
+    names = workloads or workload_names()
+    result = Fig4Result(threading=threading)
+    for mode in SAFETY_MODES:
+        result.overheads[mode] = {}
+    for name in names:
+        base = cached_run(name, SafetyMode.ATS_ONLY, threading, seed, ops_scale)
+        result.baseline_cycles[name] = base.gpu_cycles
+        for mode in SAFETY_MODES:
+            res = cached_run(name, mode, threading, seed, ops_scale)
+            result.overheads[mode][name] = runtime_overhead(res, base)
+    return result

@@ -1,0 +1,78 @@
+"""Workload characterization table (companion to §5.1's workload list).
+
+The paper describes its Rodinia workloads qualitatively ("regular memory
+access patterns (e.g., lud) to irregular, data-dependent accesses (e.g.,
+bfs)"). This driver renders the measured characteristics of our proxies
+so a reader can audit the calibration: cold/locality mixture, cache hit
+ratios, border traffic, and DRAM pressure under the Border Control-BCC
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import cached_run, text_table
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.runner import RunResult
+from repro.workloads.registry import WORKLOADS, workload_names
+
+__all__ = ["WorkloadTable", "run"]
+
+
+@dataclass
+class WorkloadTable:
+    threading: GPUThreading
+    results: Dict[str, RunResult] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows: List[List[str]] = []
+        for name, res in self.results.items():
+            spec = WORKLOADS[name]
+            rows.append(
+                [
+                    name,
+                    spec.pattern,
+                    f"{spec.footprint_bytes // 2**20} MiB",
+                    f"{spec.write_fraction:.0%}",
+                    f"{spec.compute_gap_mean:g}",
+                    f"{res.l1_hit_ratio:.2f}",
+                    f"{res.l2_hit_ratio:.2f}",
+                    f"{res.checks_per_cycle:.3f}",
+                    f"{res.dram_utilization:.2f}",
+                ]
+            )
+        return text_table(
+            [
+                "workload",
+                "pattern",
+                "footprint",
+                "writes",
+                "gap",
+                "L1 hit",
+                "L2 hit",
+                "border/cyc",
+                "DRAM util",
+            ],
+            rows,
+            title=(
+                f"Workload characteristics under Border Control-BCC "
+                f"({self.threading.label})"
+            ),
+        )
+
+
+def run(
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    workloads: Optional[List[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> WorkloadTable:
+    names = workloads or workload_names()
+    table = WorkloadTable(threading=threading)
+    for name in names:
+        table.results[name] = cached_run(
+            name, SafetyMode.BC_BCC, threading, seed, ops_scale
+        )
+    return table

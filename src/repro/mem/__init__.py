@@ -1,0 +1,49 @@
+"""Memory-system substrate: physical memory, DRAM timing, caches, coherence.
+
+These are the trusted-side building blocks the paper assumes: a physical
+address space with real backing data, a bandwidth-limited DRAM model, set-
+associative caches with write-back/write-through policies, and a MOESI
+coherence layer that enforces the Border Control cache-organization
+invariant (paper §3.4.3).
+"""
+
+from repro.mem.address import (
+    BLOCK_SIZE,
+    PAGE_SIZE,
+    LARGE_PAGE_SIZE,
+    align_down,
+    align_up,
+    block_of,
+    is_page_aligned,
+    page_offset,
+    pages_spanned,
+    ppn_of,
+    vpn_of,
+)
+from repro.mem.cache import Cache, CacheConfig, Line
+from repro.mem.coherence import CoherenceController, CoherenceError, State
+from repro.mem.dram import DRAM, DRAMConfig
+from repro.mem.phys_memory import PhysicalMemory
+
+__all__ = [
+    "BLOCK_SIZE",
+    "PAGE_SIZE",
+    "LARGE_PAGE_SIZE",
+    "Cache",
+    "CacheConfig",
+    "CoherenceController",
+    "CoherenceError",
+    "DRAM",
+    "DRAMConfig",
+    "Line",
+    "PhysicalMemory",
+    "State",
+    "align_down",
+    "align_up",
+    "block_of",
+    "is_page_aligned",
+    "page_offset",
+    "pages_spanned",
+    "ppn_of",
+    "vpn_of",
+]

@@ -1,0 +1,278 @@
+"""MOESI coherence with the Border Control cache-organization invariant.
+
+The paper integrates Border Control into a MOESI CPU-GPU protocol with a
+null directory (§5.1) and requires one invariant of any coherent system
+containing untrusted caches (§3.4.3):
+
+    *an untrusted cache must never be the supplier of data for a block for
+    which it does not have write permission.*
+
+Concretely: ownership (M or O) of non-writable blocks stays with the
+directory or trusted caches; a read-only request from an untrusted cache
+is never answered with an owned/exclusive state; and — the exclusive-cache
+corner case — a dirty block requested read-only by an untrusted cache is
+first written back to memory, so the untrusted copy is clean.
+
+This module is a *functional* protocol model: it moves real bytes between
+agent caches and physical memory and asserts protocol legality on every
+transition. The timing path of the evaluation uses the simpler
+write-through-L1 / write-back-L2 accelerator hierarchy of §5.1, with
+Border Control checking the L2's fills and writebacks; this model backs
+the unit/property tests of the invariant and the CPU-side substrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.mem.address import BLOCK_SIZE, block_of, ppn_of
+from repro.mem.phys_memory import PhysicalMemory
+
+__all__ = ["State", "CoherenceError", "CoherentAgent", "CoherenceController"]
+
+# (agent, ppn) -> bool: does the agent currently have write permission?
+WritePermCheck = Callable[["CoherentAgent", int], bool]
+
+
+class State(enum.Enum):
+    """MOESI stable states."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_owner(self) -> bool:
+        return self in (State.MODIFIED, State.OWNED, State.EXCLUSIVE)
+
+    @property
+    def is_dirty(self) -> bool:
+        return self in (State.MODIFIED, State.OWNED)
+
+
+class CoherenceError(RuntimeError):
+    """An illegal protocol transition or invariant violation."""
+
+
+class CoherentAgent:
+    """One cache participating in the protocol.
+
+    ``untrusted`` marks accelerator caches that sit beyond the Border
+    Control boundary; the controller applies the §3.4.3 restrictions to
+    them.
+    """
+
+    def __init__(self, name: str, untrusted: bool = False) -> None:
+        self.name = name
+        self.untrusted = untrusted
+        self.blocks: Dict[int, Tuple[State, bytearray]] = {}
+        self._controller: Optional["CoherenceController"] = None
+
+    # -- state inspection ----------------------------------------------------
+
+    def state_of(self, block_addr: int) -> State:
+        block_addr = block_of(block_addr)
+        entry = self.blocks.get(block_addr)
+        return entry[0] if entry else State.INVALID
+
+    def data_of(self, block_addr: int) -> Optional[bytes]:
+        entry = self.blocks.get(block_of(block_addr))
+        return bytes(entry[1]) if entry else None
+
+    # -- requests (delegate to the controller) -------------------------------
+
+    def load(self, block_addr: int) -> bytes:
+        """Read a whole block, acquiring it if necessary (GetS)."""
+        block_addr = block_of(block_addr)
+        entry = self.blocks.get(block_addr)
+        if entry is not None:
+            return bytes(entry[1])
+        return self._ctrl.get_shared(self, block_addr)
+
+    def store(self, block_addr: int, data: bytes) -> None:
+        """Write a whole block, acquiring ownership if necessary (GetM)."""
+        block_addr = block_of(block_addr)
+        if len(data) != BLOCK_SIZE:
+            raise CoherenceError("stores are block-granular")
+        entry = self.blocks.get(block_addr)
+        if entry is None or entry[0] not in (State.MODIFIED, State.EXCLUSIVE):
+            self._ctrl.get_modified(self, block_addr)
+        state, buf = self.blocks[block_addr]
+        buf[:] = data
+        self.blocks[block_addr] = (State.MODIFIED, buf)
+
+    def evict(self, block_addr: int) -> None:
+        """Evict a block (PutM writeback if dirty, silent otherwise)."""
+        block_addr = block_of(block_addr)
+        entry = self.blocks.pop(block_addr, None)
+        if entry is None:
+            return
+        state, buf = entry
+        self._ctrl.handle_eviction(self, block_addr, state, bytes(buf))
+
+    @property
+    def _ctrl(self) -> "CoherenceController":
+        if self._controller is None:
+            raise CoherenceError(f"agent {self.name} not attached to a controller")
+        return self._controller
+
+
+class CoherenceController:
+    """Null-directory MOESI controller over physical memory.
+
+    A "null" directory tracks no sharer bits persistently in DRAM; this
+    model keeps the sharer/owner sets in controller state, which is what
+    the gem5 null-directory protocol effectively does at a functional
+    level.
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        write_perm_check: Optional[WritePermCheck] = None,
+    ) -> None:
+        self.memory = memory
+        self.agents: List[CoherentAgent] = []
+        # For untrusted agents: may they write this page right now? The
+        # Border Control engine installs its Protection Table lookup here.
+        self.write_perm_check = write_perm_check or (lambda agent, ppn: True)
+        self.stats = {
+            "gets": 0,
+            "getm": 0,
+            "writebacks": 0,
+            "forced_writebacks": 0,
+            "blocked_writebacks": 0,
+        }
+
+    def attach(self, agent: CoherentAgent) -> CoherentAgent:
+        if agent._controller is not None:
+            raise CoherenceError(f"agent {agent.name} already attached")
+        agent._controller = self
+        self.agents.append(agent)
+        return agent
+
+    # -- directory views -------------------------------------------------------
+
+    def holders(self, block_addr: int) -> List[Tuple[CoherentAgent, State]]:
+        out = []
+        for agent in self.agents:
+            state = agent.state_of(block_addr)
+            if state is not State.INVALID:
+                out.append((agent, state))
+        return out
+
+    def owner(self, block_addr: int) -> Optional[Tuple[CoherentAgent, State]]:
+        for agent, state in self.holders(block_addr):
+            if state.is_owner:
+                return agent, state
+        return None
+
+    # -- transactions ------------------------------------------------------------
+
+    def get_shared(self, requester: CoherentAgent, block_addr: int) -> bytes:
+        """GetS: acquire a readable copy for ``requester``."""
+        self.stats["gets"] += 1
+        owner_entry = self.owner(block_addr)
+        if owner_entry is None:
+            data = self.memory.read(block_addr, BLOCK_SIZE)
+            others = self.holders(block_addr)
+            if not others and not requester.untrusted:
+                # Sole trusted holder may take E. Untrusted caches never
+                # receive E for a GetS: E permits a silent upgrade to M,
+                # which would let a read-only block become a data supplier
+                # (paper §3.4.3).
+                requester.blocks[block_addr] = (State.EXCLUSIVE, bytearray(data))
+            else:
+                requester.blocks[block_addr] = (State.SHARED, bytearray(data))
+            return data
+
+        owner, owner_state = owner_entry
+        data = bytes(owner.blocks[block_addr][1])
+        if owner_state is State.EXCLUSIVE:
+            owner.blocks[block_addr] = (State.SHARED, owner.blocks[block_addr][1])
+        elif owner_state in (State.MODIFIED, State.OWNED):
+            if requester.untrusted and not self._may_write(requester, block_addr):
+                # Exclusive-cache corner case (§3.4.3): write the dirty
+                # data back so the untrusted copy is clean and ownership
+                # returns to memory.
+                self.memory.write(block_addr, data)
+                self.stats["forced_writebacks"] += 1
+                owner.blocks[block_addr] = (State.SHARED, owner.blocks[block_addr][1])
+            else:
+                owner.blocks[block_addr] = (State.OWNED, owner.blocks[block_addr][1])
+        requester.blocks[block_addr] = (State.SHARED, bytearray(data))
+        self._assert_invariant(block_addr)
+        return data
+
+    def get_modified(self, requester: CoherentAgent, block_addr: int) -> None:
+        """GetM: acquire an exclusive writable copy for ``requester``."""
+        self.stats["getm"] += 1
+        if requester.untrusted and not self._may_write(requester, block_addr):
+            raise CoherenceError(
+                f"untrusted agent {requester.name} requested ownership of "
+                f"non-writable block {block_addr:#x}"
+            )
+        owner_entry = self.owner(block_addr)
+        if owner_entry is not None:
+            owner, _state = owner_entry
+            data = bytearray(owner.blocks[block_addr][1])
+        else:
+            existing = requester.blocks.get(block_addr)
+            if existing is not None:
+                data = existing[1]
+            else:
+                data = bytearray(self.memory.read(block_addr, BLOCK_SIZE))
+        for agent in self.agents:
+            if agent is not requester:
+                agent.blocks.pop(block_addr, None)
+        requester.blocks[block_addr] = (State.MODIFIED, data)
+        self._assert_invariant(block_addr)
+
+    def handle_eviction(
+        self, agent: CoherentAgent, block_addr: int, state: State, data: bytes
+    ) -> bool:
+        """PutM/PutO writeback on eviction; returns True if memory updated."""
+        if not state.is_dirty:
+            return False
+        if agent.untrusted and not self._may_write(agent, block_addr):
+            # The border blocks the writeback; the dirty data is dropped
+            # (this is the "accelerator ignored the flush" path, §3.2.4).
+            self.stats["blocked_writebacks"] += 1
+            return False
+        self.memory.write(block_addr, data)
+        self.stats["writebacks"] += 1
+        return True
+
+    # -- the §3.4.3 invariant ------------------------------------------------------
+
+    def _may_write(self, agent: CoherentAgent, block_addr: int) -> bool:
+        return self.write_perm_check(agent, ppn_of(block_addr))
+
+    def _assert_invariant(self, block_addr: int) -> None:
+        states = [s for _a, s in self.holders(block_addr)]
+        owners = [s for s in states if s.is_owner]
+        if len(owners) > 1:
+            raise CoherenceError(f"multiple owners for block {block_addr:#x}")
+        if State.MODIFIED in states or State.EXCLUSIVE in states:
+            if len(states) != 1:
+                raise CoherenceError(
+                    f"M/E coexists with other copies for block {block_addr:#x}"
+                )
+        for agent, state in self.holders(block_addr):
+            if agent.untrusted and state.is_owner:
+                if not self._may_write(agent, block_addr):
+                    raise CoherenceError(
+                        f"untrusted agent {agent.name} owns non-writable "
+                        f"block {block_addr:#x} (Border Control invariant)"
+                    )
+
+    def check_all_invariants(self) -> None:
+        """Verify the ownership invariant for every resident block."""
+        blocks: Set[int] = set()
+        for agent in self.agents:
+            blocks.update(agent.blocks)
+        for block_addr in blocks:
+            self._assert_invariant(block_addr)

@@ -1,0 +1,65 @@
+"""The memory-port protocol every timing component speaks.
+
+A *port* is anything that can service a block-granular memory access:
+DRAM behind a memory controller, a cache level, the IOMMU, a CAPI-like
+trusted front-end, or Border Control itself. Ports compose into a chain
+(e.g. wavefront -> L1 -> L2 -> Border Control -> memory controller), and
+each access is a simulation generator so latencies and queueing compose
+naturally.
+
+``access`` returns the block's bytes for reads, ``b""`` for completed
+writes, and ``None`` when the access was *blocked* at a trusted/untrusted
+border (the data is withheld and the write is dropped — paper §3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.mem.phys_memory import PhysicalMemory
+from repro.mem.dram import DRAM
+
+__all__ = ["MemoryPort", "MemoryController"]
+
+AccessResult = Optional[bytes]
+
+
+class MemoryPort:
+    """Abstract base: a component that services memory accesses."""
+
+    name = "port"
+
+    def access(
+        self, addr: int, size: int, write: bool, data: Optional[bytes] = None
+    ) -> Generator:
+        """Service one access. Simulation generator; see module docstring."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class MemoryController(MemoryPort):
+    """The bottom of every chain: DRAM timing + physical memory data.
+
+    This is trusted hardware. Every access that reaches it is applied to
+    the functional :class:`PhysicalMemory` after the DRAM model's queueing
+    and access latency have elapsed.
+    """
+
+    name = "memctl"
+
+    def __init__(self, phys: PhysicalMemory, dram: DRAM) -> None:
+        self.phys = phys
+        self.dram = dram
+
+    def access(
+        self, addr: int, size: int, write: bool, data: Optional[bytes] = None
+    ) -> Generator:
+        delay = self.dram.access(size, write)
+        if delay:
+            yield delay
+        if write:
+            if data is None:
+                raise ValueError("write access requires data")
+            self.phys.write(addr, data[:size])
+            return b""
+        return self.phys.read(addr, size)

@@ -1,0 +1,88 @@
+"""An ARM-TrustZone-style address space controller (paper §2.3, Table 1).
+
+TrustZone divides the system into a Secure and a Normal world; a
+TrustZone Address Space Controller (TZASC) marks physical regions secure
+and refuses Normal-world masters access to them. The paper's point
+(Table 1): this protects OS/secure assets from an untrusted accelerator,
+but it is *coarse-grained* — a misbehaving Normal-world accelerator can
+still read and write every other Normal-world process's memory.
+
+We implement the TZASC as a :class:`~repro.mem.port.MemoryPort` filter so
+the Table 1 comparison can be verified by probe, exactly like the other
+rows: plant a secret in a victim process (normal world) and in a secure
+region, then watch which of the two a trojan can reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from repro.mem.port import MemoryPort
+from repro.sim.stats import StatDomain
+
+__all__ = ["TrustZoneController", "World"]
+
+
+@dataclass(frozen=True)
+class World:
+    """The requesting master's world."""
+
+    secure: bool
+
+    @classmethod
+    def SECURE(cls) -> "World":
+        return cls(True)
+
+    @classmethod
+    def NORMAL(cls) -> "World":
+        return cls(False)
+
+
+class TrustZoneController(MemoryPort):
+    """TZASC-style region filter in front of the memory controller."""
+
+    name = "tzasc"
+
+    def __init__(
+        self,
+        downstream: MemoryPort,
+        requester_secure: bool = False,
+        stats: Optional[StatDomain] = None,
+    ) -> None:
+        self.downstream = downstream
+        self.requester_secure = requester_secure
+        self._secure_regions: List[Tuple[int, int]] = []  # (base, end)
+        stats = stats or StatDomain("tzasc")
+        self._checked = stats.counter("checked")
+        self._blocked = stats.counter("blocked")
+
+    # -- configuration (trusted software only) -------------------------------
+
+    def mark_secure(self, base: int, size: int) -> None:
+        """Declare ``[base, base+size)`` Secure-world-only."""
+        if size <= 0:
+            raise ValueError("secure region must have positive size")
+        self._secure_regions.append((base, base + size))
+
+    def clear_secure(self) -> None:
+        self._secure_regions.clear()
+
+    def is_secure_address(self, addr: int, size: int = 1) -> bool:
+        end = addr + max(1, size)
+        return any(addr < r_end and end > r_base for r_base, r_end in self._secure_regions)
+
+    # -- the port protocol ---------------------------------------------------
+
+    def access(
+        self, addr: int, size: int, write: bool, data: Optional[bytes] = None
+    ) -> Generator:
+        self._checked.inc()
+        if not self.requester_secure and self.is_secure_address(addr, size):
+            # Normal-world master touching a secure region: refused. This
+            # is the *only* check TrustZone provides — anything outside
+            # the secure regions passes, regardless of owning process.
+            self._blocked.inc()
+            return None
+            yield  # pragma: no cover
+        return (yield from self.downstream.access(addr, size, write, data))

@@ -1,0 +1,24 @@
+"""The trusted operating system model.
+
+Border Control "builds upon the existing process abstraction, using the
+permissions set by the OS as stored in the page table" (paper §1). This
+package provides that OS: processes with real page tables, mmap/munmap/
+mprotect, copy-on-write forks, swapping, TLB shootdowns that fan out to
+accelerators, and the violation-handling policies of §3.2.3 (terminate
+the process or disable the accelerator).
+"""
+
+from repro.osmodel.process import Process, ProcessState
+from repro.osmodel.kernel import Kernel, ViolationPolicy
+from repro.osmodel.scheduler import RoundRobinScheduler
+from repro.osmodel.vmm import VMM, GuestPartition
+
+__all__ = [
+    "GuestPartition",
+    "Kernel",
+    "Process",
+    "ProcessState",
+    "RoundRobinScheduler",
+    "VMM",
+    "ViolationPolicy",
+]

@@ -1,0 +1,94 @@
+"""Processes and their address spaces."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set
+
+from repro.core.permissions import Perm
+from repro.mem.address import PAGE_SHIFT, PAGE_SIZE
+from repro.vm.page_table import PageTable
+
+__all__ = ["Process", "ProcessState", "VMArea"]
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "running"
+    KILLED = "killed"
+    EXITED = "exited"
+
+
+class VMArea:
+    """One mmap'd virtual region (the OS's bookkeeping, not the hardware's)."""
+
+    __slots__ = ("start_vpn", "num_pages", "perms", "large", "cow")
+
+    def __init__(
+        self,
+        start_vpn: int,
+        num_pages: int,
+        perms: Perm,
+        large: bool = False,
+        cow: bool = False,
+    ) -> None:
+        self.start_vpn = start_vpn
+        self.num_pages = num_pages
+        self.perms = perms
+        self.large = large
+        self.cow = cow
+
+    @property
+    def start_vaddr(self) -> int:
+        return self.start_vpn << PAGE_SHIFT
+
+    @property
+    def length(self) -> int:
+        return self.num_pages * PAGE_SIZE
+
+    def contains_vpn(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.start_vpn + self.num_pages
+
+
+class Process:
+    """A protection domain: an ASID, a page table, and VM-area bookkeeping."""
+
+    # Virtual layout: user mappings are carved from a simple upward cursor.
+    _MMAP_BASE_VPN = 0x10000  # 256 MB into the virtual address space
+
+    def __init__(self, pid: int, name: str, page_table: PageTable) -> None:
+        self.pid = pid
+        self.name = name
+        self.page_table = page_table
+        self.state = ProcessState.RUNNING
+        self.areas: Dict[int, VMArea] = {}  # keyed by start_vpn
+        self._mmap_cursor = self._MMAP_BASE_VPN
+        # Accelerators this process currently runs kernels on.
+        self.accelerators: Set[str] = set()
+        self.exit_reason: Optional[str] = None
+
+    @property
+    def asid(self) -> int:
+        return self.page_table.asid
+
+    @property
+    def alive(self) -> bool:
+        return self.state is ProcessState.RUNNING
+
+    # -- virtual address allocation --------------------------------------------
+
+    def reserve_vpns(self, num_pages: int, alignment_pages: int = 1) -> int:
+        """Pick an unused, aligned virtual page range; returns start VPN."""
+        start = self._mmap_cursor
+        if alignment_pages > 1:
+            start = (start + alignment_pages - 1) // alignment_pages * alignment_pages
+        self._mmap_cursor = start + num_pages
+        return start
+
+    def area_for_vpn(self, vpn: int) -> Optional[VMArea]:
+        for area in self.areas.values():
+            if area.contains_vpn(vpn):
+                return area
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Process(pid={self.pid}, {self.name!r}, asid={self.asid}, {self.state.value})"

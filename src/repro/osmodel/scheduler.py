@@ -1,0 +1,83 @@
+"""A round-robin CPU scheduler.
+
+Context switches are the paper's most common source of permission
+downgrades today ("10-200 downgrades per second" under normal Linux
+scheduling, Fig. 7). The scheduler's role in this model is to generate
+those downgrade events at a realistic cadence; the Fig. 7 experiment also
+injects downgrades directly at swept rates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.process import Process
+from repro.sim.clock import TICKS_PER_SECOND
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler:
+    """Rotates runnable processes on a fixed timeslice.
+
+    Each rotation away from a process that has accelerator state triggers
+    the full-context downgrade path (flush accelerator caches, zero the
+    Protection Table — paper §3.2.4).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        timeslice_seconds: float = 0.01,  # 100 Hz, a typical Linux tick
+        on_switch: Optional[Callable[[Process, Process], None]] = None,
+    ) -> None:
+        if timeslice_seconds <= 0:
+            raise ValueError("timeslice must be positive")
+        self.kernel = kernel
+        self.timeslice_ticks = int(timeslice_seconds * TICKS_PER_SECOND)
+        self.on_switch = on_switch
+        self.runnable: List[Process] = []
+        self.current: Optional[Process] = None
+        self.switches = 0
+        self.downgrades = 0
+
+    def add(self, proc: Process) -> None:
+        if proc not in self.runnable:
+            self.runnable.append(proc)
+
+    def remove(self, proc: Process) -> None:
+        if proc in self.runnable:
+            self.runnable.remove(proc)
+        if self.current is proc:
+            self.current = None
+
+    def run(self, duration_seconds: float) -> Generator:
+        """Simulation process: rotate for ``duration_seconds`` of sim time."""
+        end = self.kernel.engine.now + int(duration_seconds * TICKS_PER_SECOND)
+        while self.kernel.engine.now < end and self.runnable:
+            nxt = self._pick_next()
+            if nxt is None:
+                break
+            prev, self.current = self.current, nxt
+            if prev is not None and prev is not nxt:
+                self.switches += 1
+                if self.on_switch is not None:
+                    self.on_switch(prev, nxt)
+                if prev.accelerators and prev.alive:
+                    self.downgrades += 1
+                    yield from self.kernel.downgrade_process_g(prev)
+            remaining = end - self.kernel.engine.now
+            if remaining <= 0:
+                break
+            yield min(self.timeslice_ticks, remaining)
+
+    def _pick_next(self) -> Optional[Process]:
+        self.runnable = [p for p in self.runnable if p.alive]
+        if not self.runnable:
+            return None
+        if self.current in self.runnable:
+            idx = (self.runnable.index(self.current) + 1) % len(self.runnable)
+        else:
+            idx = 0
+        return self.runnable[idx]

@@ -1,0 +1,155 @@
+"""Virtualization: Border Control under a trusted VMM (paper §3.4.2).
+
+    "Border Control can also operate with a trusted Virtual Machine
+    Monitor (VMM) below guest OSes. In this case, the VMM allocates the
+    Protection Table in (host physical) memory that is inaccessible to
+    guest OSes. The present implementation works unchanged because table
+    indexing uses 'bare-metal' physical addresses."
+
+The model here keeps that property literally: every guest runs a full
+:class:`~repro.osmodel.kernel.Kernel`, but its frame allocator is
+confined to a contiguous *partition* of host physical memory, while
+Protection Tables are allocated from the VMM's private frames. Border
+Control itself is untouched — its base/bounds registers and table
+indexing use host physical addresses throughout.
+
+Guest isolation consequences this module's tests verify:
+
+* guest page tables can only ever map frames inside the guest partition
+  (its allocator physically cannot produce anything else);
+* Protection Tables live outside every partition, so no guest mapping —
+  and therefore no accelerator translation — can ever cover them: a
+  rogue accelerator cannot corrupt its own sandbox's metadata;
+* a trojan accelerator attached through one guest cannot read another
+  guest's memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.bcc import BCCConfig
+from repro.errors import ConfigurationError, MemoryError_
+from repro.mem.address import PAGE_SHIFT, PAGE_SIZE
+from repro.mem.phys_memory import PhysicalMemory
+from repro.osmodel.kernel import Kernel, ViolationPolicy
+from repro.sim.engine import Engine
+from repro.sim.stats import StatDomain
+from repro.vm.frame_allocator import FrameAllocator
+
+__all__ = ["VMM", "GuestPartition"]
+
+
+@dataclass
+class GuestPartition:
+    """One guest's slice of host physical memory."""
+
+    name: str
+    base_frame: int
+    frame_count: int
+    kernel: Kernel
+
+    @property
+    def base_paddr(self) -> int:
+        return self.base_frame << PAGE_SHIFT
+
+    @property
+    def end_paddr(self) -> int:
+        return (self.base_frame + self.frame_count) << PAGE_SHIFT
+
+    def contains_frame(self, ppn: int) -> bool:
+        return self.base_frame <= ppn < self.base_frame + self.frame_count
+
+
+class VMM:
+    """A minimal trusted hypervisor partitioning host physical memory."""
+
+    def __init__(
+        self,
+        phys: PhysicalMemory,
+        engine: Optional[Engine] = None,
+        bcc_config: Optional[BCCConfig] = BCCConfig(),
+        violation_policy: ViolationPolicy = ViolationPolicy.KILL_PROCESS,
+    ) -> None:
+        self.phys = phys
+        self.engine = engine or Engine()
+        self.bcc_config = bcc_config
+        self.violation_policy = violation_policy
+        # The VMM's own allocator owns all of host memory; guest partitions
+        # are carved out of it and handed confined allocators.
+        self.host_allocator = FrameAllocator(phys)
+        self.guests: Dict[str, GuestPartition] = {}
+        self.stats = StatDomain("vmm")
+
+    # -- guest lifecycle -----------------------------------------------------
+
+    def create_guest(self, name: str, mem_bytes: int) -> GuestPartition:
+        """Carve a partition and boot a guest kernel inside it."""
+        if name in self.guests:
+            raise ConfigurationError(f"guest {name!r} already exists")
+        if mem_bytes <= 0 or mem_bytes % PAGE_SIZE:
+            raise MemoryError_("guest memory must be a positive page multiple")
+        frames = mem_bytes // PAGE_SIZE
+        base = self.host_allocator.alloc_contiguous(frames, zero=True)
+        guest_allocator = FrameAllocator(
+            self.phys, reserve_low_frames=0, base_frame=base, frame_count=frames
+        )
+        kernel = Kernel(
+            self.phys,
+            engine=self.engine,
+            bcc_config=self.bcc_config,
+            violation_policy=self.violation_policy,
+            stats=self.stats.child(name),
+            allocator=guest_allocator,
+            # Protection Tables come from VMM-private memory (§3.4.2).
+            sandbox_allocator=self.host_allocator,
+        )
+        partition = GuestPartition(name, base, frames, kernel)
+        self.guests[name] = partition
+        return partition
+
+    def destroy_guest(self, name: str) -> None:
+        partition = self.guests.pop(name, None)
+        if partition is None:
+            raise ConfigurationError(f"unknown guest {name!r}")
+        for proc in list(partition.kernel.processes.values()):
+            partition.kernel.exit_process(proc)
+        self.host_allocator.free_contiguous(
+            partition.base_frame, partition.frame_count
+        )
+
+    # -- isolation audits (used by tests and examples) ---------------------------
+
+    def audit_guest_mappings(self, name: str) -> List[int]:
+        """PPNs a guest maps outside its partition (must be empty)."""
+        partition = self.guests[name]
+        offenders: List[int] = []
+        for proc in partition.kernel.processes.values():
+            for translation in proc.page_table.entries():
+                for i in range(translation.page_size // PAGE_SIZE):
+                    ppn = translation.ppn + i
+                    if not partition.contains_frame(ppn):
+                        offenders.append(ppn)
+        return offenders
+
+    def protection_table_frames(self) -> List[int]:
+        """Host frames holding any guest's Protection Tables."""
+        frames: List[int] = []
+        for partition in self.guests.values():
+            for _accel, sandbox in partition.kernel.sandboxes.active_sandboxes():
+                table = sandbox.table
+                if table is None:
+                    continue
+                base = table.base_paddr >> PAGE_SHIFT
+                frames.extend(range(base, base + table.size_bytes // PAGE_SIZE))
+        return frames
+
+    def audit_tables_outside_guests(self) -> bool:
+        """True iff every Protection Table frame is VMM-private."""
+        table_frames = self.protection_table_frames()
+        for frame in table_frames:
+            for partition in self.guests.values():
+                if partition.contains_frame(frame):
+                    return False
+        return True

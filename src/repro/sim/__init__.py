@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+This package provides the simulation kernel used by every timing model in
+the repository:
+
+* :mod:`repro.sim.engine` — event queue, generator-based processes,
+  waitable events, and FIFO bandwidth servers.
+* :mod:`repro.sim.clock` — clock domains (ticks are integer picoseconds).
+* :mod:`repro.sim.stats` — counters, rates, and histograms.
+* :mod:`repro.sim.config` — system configuration dataclasses (paper Table 3)
+  and the five safety configurations (paper Table 2).
+* :mod:`repro.sim.system` — wires a complete simulated system.
+* :mod:`repro.sim.runner` — runs a workload on a system and collects results.
+"""
+
+from repro.sim.clock import Clock, TICKS_PER_SECOND
+from repro.sim.engine import BandwidthServer, Engine, Event, Process, Resource
+from repro.sim.stats import StatDomain
+
+__all__ = [
+    "BandwidthServer",
+    "Clock",
+    "Engine",
+    "Event",
+    "Process",
+    "Resource",
+    "StatDomain",
+    "TICKS_PER_SECOND",
+]

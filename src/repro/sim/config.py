@@ -1,0 +1,178 @@
+"""System configurations — paper Tables 2 and 3 as dataclasses.
+
+:class:`SafetyMode` enumerates the five approaches to memory safety under
+study (Table 2); :class:`SystemConfig` carries the simulation parameters
+of Table 3 (frequencies, cache/TLB geometry, memory bandwidth, Border
+Control latencies) plus the timing constants of this reproduction's
+transaction-level model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.bcc import BCCConfig
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "GPUThreading",
+    "SafetyMode",
+    "SystemConfig",
+    "TimingParams",
+    "GIB",
+    "MIB",
+    "KIB",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+class SafetyMode(enum.Enum):
+    """The five configurations of Table 2."""
+
+    ATS_ONLY = "ats-only-iommu"  # unsafe baseline: direct physical access
+    FULL_IOMMU = "full-iommu"  # translate+check every request, no accel caches
+    CAPI_LIKE = "capi-like"  # trusted TLB + trusted shared L2 only
+    BC_NO_BCC = "border-control-nobcc"  # Protection Table only
+    BC_BCC = "border-control-bcc"  # Protection Table + BCC
+
+    @property
+    def safe(self) -> bool:
+        return self is not SafetyMode.ATS_ONLY
+
+    @property
+    def has_accel_l1_cache(self) -> bool:
+        return self in (SafetyMode.ATS_ONLY, SafetyMode.BC_NO_BCC, SafetyMode.BC_BCC)
+
+    @property
+    def has_accel_l1_tlb(self) -> bool:
+        return self in (SafetyMode.ATS_ONLY, SafetyMode.BC_NO_BCC, SafetyMode.BC_BCC)
+
+    @property
+    def has_l2_cache(self) -> bool:
+        # Everyone except the full IOMMU keeps *an* L2; for CAPI it lives
+        # on the trusted side (Table 2 marks it present).
+        return self is not SafetyMode.FULL_IOMMU
+
+    @property
+    def uses_border_control(self) -> bool:
+        return self in (SafetyMode.BC_NO_BCC, SafetyMode.BC_BCC)
+
+    @property
+    def has_bcc(self) -> Optional[bool]:
+        """Tri-state as in Table 2: True/False for BC rows, None (N/A) else."""
+        if not self.uses_border_control:
+            return None
+        return self is SafetyMode.BC_BCC
+
+    @property
+    def label(self) -> str:
+        return {
+            SafetyMode.ATS_ONLY: "ATS-only IOMMU",
+            SafetyMode.FULL_IOMMU: "Full IOMMU",
+            SafetyMode.CAPI_LIKE: "CAPI-like",
+            SafetyMode.BC_NO_BCC: "Border Control-noBCC",
+            SafetyMode.BC_BCC: "Border Control-BCC",
+        }[self]
+
+
+class GPUThreading(enum.Enum):
+    """The two GPU configurations of §5.1 / Table 3."""
+
+    HIGHLY = "highly-threaded"  # 8 CUs, many contexts: latency tolerant
+    MODERATELY = "moderately-threaded"  # 1 CU, few contexts: latency sensitive
+
+    @property
+    def num_cus(self) -> int:
+        return 8 if self is GPUThreading.HIGHLY else 1
+
+    @property
+    def wavefronts_per_cu(self) -> int:
+        # Highly threaded: "many execution contexts" per CU; moderately
+        # threaded: a single workgroup's worth of wavefronts (§5.1).
+        return 16 if self is GPUThreading.HIGHLY else 16
+
+    @property
+    def l2_cache_bytes(self) -> int:
+        return 256 * KIB if self is GPUThreading.HIGHLY else 64 * KIB
+
+    @property
+    def label(self) -> str:
+        return "Highly threaded" if self is GPUThreading.HIGHLY else "Moderately threaded"
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Latency constants, in the GPU clock domain (cycles).
+
+    Table 3 pins the Border Control numbers (BCC 10 cycles, Protection
+    Table 100 cycles); the rest are this model's transaction-level
+    choices, kept in one place for calibration.
+    """
+
+    l1_hit_cycles: float = 4.0
+    l2_hit_cycles: float = 20.0
+    ats_request_cycles: float = 20.0  # accel <-> IOMMU round trip on a TLB miss
+    l2_tlb_hit_cycles: float = 10.0
+    iommu_request_cycles: float = 16.0  # full-IOMMU per-request processing
+    iommu_l2_tlb_cycles: float = 4.0
+    capi_link_cycles: float = 4.0  # accel <-> trusted cache unit
+    capi_ats_request_cycles: float = 2.0
+    capi_tlb_cycles: float = 2.0  # CAPI's TLB is adjacent to its cache
+    # The CAPI unit's cache is the accelerator's *first* cache level, so
+    # its hit path is shorter than the baseline's L1-miss + L2-hit path.
+    capi_l2_hit_cycles: float = 14.0
+    bcc_cycles: float = 10.0  # Table 3
+    protection_table_cycles: float = 100.0  # Table 3
+    # Pipeline quiesce + outstanding-request drain on a permission
+    # downgrade; applies to trusted and untrusted accelerators alike
+    # ("these actions occur even with trusted accelerators", §5.2.4).
+    downgrade_drain_cycles: float = 150.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated system (Table 3)."""
+
+    safety: SafetyMode = SafetyMode.BC_BCC
+    threading: GPUThreading = GPUThreading.HIGHLY
+    phys_mem_bytes: int = 3 * GIB  # gives the paper's ~196 KB Protection Table
+    cpu_freq_hz: float = 3e9
+    gpu_freq_hz: float = 700e6
+    peak_bandwidth_bytes_per_s: float = 180e9
+    dram_latency_ns: float = 60.0
+    gpu_l1_cache_bytes: int = 16 * KIB
+    gpu_l1_assoc: int = 4
+    gpu_l2_assoc: int = 8
+    gpu_l1_tlb_entries: int = 64
+    iommu_l2_tlb_entries: int = 512
+    bcc: BCCConfig = field(default_factory=BCCConfig)  # 64 x 512 pages = 8 KB
+    timing: TimingParams = field(default_factory=TimingParams)
+    # §3.2.4 optimization: selectively flush only blocks from the affected
+    # page on a downgrade instead of flushing the whole accelerator cache.
+    selective_downgrade: bool = False
+
+    def __post_init__(self) -> None:
+        if self.phys_mem_bytes < 64 * MIB:
+            raise ConfigurationError("system needs at least 64 MiB of memory")
+
+    @property
+    def gpu_l2_cache_bytes(self) -> int:
+        return self.threading.l2_cache_bytes
+
+    @property
+    def num_cus(self) -> int:
+        return self.threading.num_cus
+
+    def with_safety(self, safety: SafetyMode) -> "SystemConfig":
+        return replace(self, safety=safety)
+
+    def with_threading(self, threading: GPUThreading) -> "SystemConfig":
+        return replace(self, threading=threading)
+
+    def describe(self) -> str:
+        return f"{self.safety.label} / {self.threading.label}"

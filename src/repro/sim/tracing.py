@@ -1,0 +1,122 @@
+"""Structured event tracing for simulated systems.
+
+Attach an :class:`EventTrace` to a :class:`~repro.sim.system.System` to
+get a timestamped log of the security-relevant events — border
+violations, permission downgrades, kernel launches, border crossings —
+for debugging an accelerator integration or auditing an attack scenario:
+
+    trace = EventTrace.attach(system)
+    ...run...
+    print(trace.render())
+    trace.to_jsonl("events.jsonl")
+
+Tracing border *crossings* (every checked request) is opt-in via
+``crossings=True``: it is high volume and meant for short runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["EventTrace", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event."""
+
+    time_ticks: int
+    kind: str
+    fields: Dict[str, Any]
+
+    def render(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time_ticks:>14d}ps] {self.kind:<12s} {details}"
+
+
+class _CrossingRecorder:
+    """List-protocol shim so a BorderControlPort's recorder feeds the trace."""
+
+    def __init__(self, trace: "EventTrace", accel_id: str) -> None:
+        self._trace = trace
+        self._accel_id = accel_id
+
+    def append(self, item) -> None:
+        ppn, write = item
+        self._trace.record(
+            "crossing", accel=self._accel_id, ppn=hex(ppn), write=write
+        )
+
+
+class EventTrace:
+    """Collects events from a system's hook points."""
+
+    def __init__(self, engine, max_events: int = 100_000) -> None:
+        self._engine = engine
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # -- collection ----------------------------------------------------------
+
+    def record(self, kind: str, **fields: Any) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(self._engine.now, kind, fields))
+
+    @classmethod
+    def attach(cls, system, crossings: bool = False, max_events: int = 100_000):
+        """Wire a new trace into a System's hook points."""
+        trace = cls(system.engine, max_events=max_events)
+        system.kernel.sandboxes.on_violation(
+            lambda record: trace.record(
+                "violation",
+                accel=record.accel_id,
+                paddr=hex(record.paddr),
+                write=record.write,
+                out_of_bounds=record.out_of_bounds,
+            )
+        )
+        if crossings and system.border_port is not None:
+            system.border_port.ppn_recorder = _CrossingRecorder(
+                trace, system.gpu.accel_id
+            )
+        return trace
+
+    # -- queries ------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def between(self, start_ticks: int, end_ticks: int) -> List[TraceEvent]:
+        return [e for e in self.events if start_ticks <= e.time_ticks < end_ticks]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    # -- output -------------------------------------------------------------
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[:limit]
+        lines = [e.render() for e in events]
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (max_events)")
+        return "\n".join(lines)
+
+    def to_jsonl(self, path: Union[str, "Path"]) -> int:  # noqa: F821
+        """Write one JSON object per event; returns the count written."""
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(
+                    json.dumps(
+                        {"t": event.time_ticks, "kind": event.kind, **event.fields}
+                    )
+                    + "\n"
+                )
+        return len(self.events)

@@ -1,0 +1,22 @@
+"""Virtual-memory substrate: page tables, frame allocation, TLBs, MMU.
+
+The page table is a real 4-level radix tree whose entries live inside the
+simulated :class:`~repro.mem.phys_memory.PhysicalMemory`, so page walks
+performed by the Address Translation Service read the same bytes the OS
+wrote — exactly the structure Border Control piggybacks on (paper §3).
+"""
+
+from repro.vm.frame_allocator import FrameAllocator, OutOfFramesError
+from repro.vm.page_table import PageTable, Translation
+from repro.vm.tlb import TLB, TLBEntry
+from repro.vm.mmu import MMU
+
+__all__ = [
+    "FrameAllocator",
+    "MMU",
+    "OutOfFramesError",
+    "PageTable",
+    "TLB",
+    "TLBEntry",
+    "Translation",
+]

@@ -1,0 +1,115 @@
+"""CPU-side memory management unit.
+
+The CPU is trusted hardware: its MMU walks the process page table itself
+and enforces permissions before any access reaches memory — the 40-year-old
+protection baseline Border Control extends to accelerators (paper §2.1).
+The MMU here is functional; CPU timing is not on the evaluation's critical
+path (the CPU idles during GPU kernels, §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.permissions import Perm
+from repro.errors import PageFault, ProtectionFault
+from repro.mem.address import PAGE_SHIFT, PAGE_SIZE, page_offset
+from repro.mem.phys_memory import PhysicalMemory
+from repro.vm.page_table import PageTable, Translation
+from repro.vm.tlb import TLB
+
+__all__ = ["MMU"]
+
+
+class MMU:
+    """Translates and permission-checks CPU accesses for one process."""
+
+    def __init__(
+        self,
+        phys: PhysicalMemory,
+        tlb_entries: int = 64,
+    ) -> None:
+        self.phys = phys
+        self.tlb = TLB("cpu-tlb", tlb_entries)
+        self._page_table: Optional[PageTable] = None
+
+    def set_page_table(self, page_table: Optional[PageTable]) -> None:
+        """Context switch: point at a new address space, flush the TLB."""
+        self._page_table = page_table
+        self.tlb.invalidate_all()
+
+    @property
+    def page_table(self) -> PageTable:
+        if self._page_table is None:
+            raise ProtectionFault(0, False)
+        return self._page_table
+
+    # -- translation --------------------------------------------------------
+
+    def translate(self, vaddr: int, write: bool) -> int:
+        """VA -> PA with permission checks; raises PageFault/ProtectionFault."""
+        table = self.page_table
+        vpn = vaddr >> PAGE_SHIFT
+        entry = self.tlb.lookup(table.asid, vpn)
+        if entry is None:
+            translation = table.translate_vpn(vpn)
+            if translation is None:
+                raise PageFault(vaddr, write)
+            entry = self._cache(vpn, translation)
+        if not entry.perms.allows(write):
+            raise ProtectionFault(vaddr, write)
+        return (entry.ppn << PAGE_SHIFT) | page_offset(vaddr)
+
+    def _cache(self, vpn: int, translation: Translation):
+        """Insert a (possibly large-page) translation at 4 KB granularity."""
+        offset = vpn - translation.vpn
+        from repro.vm.tlb import TLBEntry
+
+        entry = TLBEntry(
+            asid=self.page_table.asid,
+            vpn=vpn,
+            ppn=translation.ppn + offset,
+            perms=translation.perms,
+        )
+        self.tlb.insert(entry)
+        return entry
+
+    # -- data access ------------------------------------------------------
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        """Virtual read (may span pages)."""
+        out = bytearray()
+        addr = vaddr
+        remaining = length
+        while remaining > 0:
+            chunk = min(remaining, PAGE_SIZE - page_offset(addr))
+            paddr = self.translate(addr, write=False)
+            out += self.phys.read(paddr, chunk)
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        """Virtual write (may span pages)."""
+        addr = vaddr
+        pos = 0
+        while pos < len(data):
+            chunk = min(len(data) - pos, PAGE_SIZE - page_offset(addr))
+            paddr = self.translate(addr, write=True)
+            self.phys.write(paddr, data[pos : pos + chunk])
+            addr += chunk
+            pos += chunk
+
+    def read_u64(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 8), "little")
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def access_allowed(self, vaddr: int, write: bool) -> bool:
+        """Non-faulting probe of whether an access would be permitted."""
+        try:
+            self.translate(vaddr, write)
+            return True
+        except (PageFault, ProtectionFault):
+            return False

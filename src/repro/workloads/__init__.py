@@ -1,0 +1,27 @@
+"""Synthetic Rodinia-proxy workloads (paper §5.1).
+
+The paper evaluates Border Control with seven Rodinia benchmarks running
+on gem5-gpu. We do not have Rodinia binaries or a cycle-accurate GPU, so
+each workload here is a *trace generator* whose memory-access statistics
+are calibrated to the published behavior of its namesake: access pattern
+(regular streaming for ``lud``-style kernels vs. irregular,
+data-dependent accesses for ``bfs``), cache reuse, compute intensity, and
+read/write mix. Border Control's overhead depends only on the request
+stream that crosses the border, so matching those statistics preserves
+the experiment (see DESIGN.md, substitutions table).
+"""
+
+from repro.workloads.base import WorkloadSpec, generate_trace
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadSpec",
+    "generate_trace",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,24 @@
+"""``backprop`` — machine-learning layer training (Rodinia).
+
+Backpropagation sweeps the weight matrices of a neural network layer by
+layer: long unit-stride streams over large arrays with real arithmetic
+between memory operations, plus heavy reuse of the small per-layer
+weight/delta vectors. It is the most compute-rich workload in the suite —
+the paper measures only ~0.025 border requests per cycle for it (Fig. 5)
+and the smallest full-IOMMU penalty (~143%, Fig. 4a).
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="backprop",
+    description="neural-network training sweep (regular, compute-rich)",
+    footprint_bytes=16 * 1024 * 1024,
+    ops_per_wavefront=560,
+    write_fraction=0.3,
+    compute_gap_mean=46.5,
+    pattern="stream",
+    l1_reuse=0.936,
+    l2_reuse=0.06,
+    l2_region_bytes=8 * 1024,
+)

@@ -1,0 +1,24 @@
+"""``bfs`` — breadth-first search (Rodinia).
+
+Graph traversal is the suite's stress case: short sequential runs over
+adjacency lists separated by data-dependent jumps to effectively random
+pages, with almost no arithmetic per edge. The paper measures the highest
+border-crossing rate (~0.29 requests/cycle, Fig. 5) and by far the worst
+full-IOMMU penalty (~983%, Fig. 4a) for bfs.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="bfs",
+    description="breadth-first graph traversal (irregular, memory-bound)",
+    footprint_bytes=8 * 1024 * 1024,
+    ops_per_wavefront=800,
+    write_fraction=0.15,
+    compute_gap_mean=1.0,
+    pattern="graph",
+    l1_reuse=0.844,
+    l2_reuse=0.15,
+    l2_region_bytes=12 * 1024,
+    run_length=6,
+)

@@ -1,0 +1,23 @@
+"""``hotspot`` — thermal simulation stencil (Rodinia).
+
+A 2-D 5-point stencil over the chip temperature grid: row-major sweeps
+where each output cell reads its neighbors, so the previous two rows stay
+hot in cache. Regular, moderately compute-intensive; the paper shows it
+among the workloads with almost no CAPI-like degradation (Fig. 4a).
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="hotspot",
+    description="2-D thermal stencil (regular, good row reuse)",
+    footprint_bytes=4 * 1024 * 1024,
+    ops_per_wavefront=600,
+    write_fraction=0.3,
+    compute_gap_mean=43.1,
+    pattern="stencil",
+    l1_reuse=0.891,
+    l2_reuse=0.1,
+    l2_region_bytes=8 * 1024,
+    row_blocks=64,
+)

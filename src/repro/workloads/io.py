@@ -1,0 +1,61 @@
+"""Trace persistence: save/load kernel traces for reproducibility.
+
+Traces are deterministic given a seed, but persisting them lets a study
+pin the *exact* request stream across library versions (the calibrated
+specs may evolve) or import traces produced by external tools.
+
+Format: JSON with a version tag; ops are ``[gap, vaddr, write]`` triples
+(``vaddr`` null for pure-compute segments).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.accel.gpu import KernelTrace
+
+__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(trace: KernelTrace, path: Union[str, Path]) -> None:
+    """Serialize a trace to JSON."""
+    payload = {
+        "version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "footprint_pages": trace.footprint_pages,
+        "cu_wavefronts": [
+            [[[gap, vaddr, bool(write)] for gap, vaddr, write in wf] for wf in cu]
+            for cu in trace.cu_wavefronts
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: Union[str, Path]) -> KernelTrace:
+    """Deserialize a trace saved by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    cu_wavefronts = [
+        [
+            [
+                (int(gap), None if vaddr is None else int(vaddr), bool(write))
+                for gap, vaddr, write in wf
+            ]
+            for wf in cu
+        ]
+        for cu in payload["cu_wavefronts"]
+    ]
+    return KernelTrace(
+        name=payload["name"],
+        cu_wavefronts=cu_wavefronts,
+        footprint_pages=int(payload.get("footprint_pages", 0)),
+    )

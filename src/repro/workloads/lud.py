@@ -1,0 +1,26 @@
+"""``lud`` — LU decomposition (Rodinia).
+
+Blocked dense linear algebra: each submatrix tile is loaded and then
+reused for many multiply-accumulate passes before the kernel moves to the
+next tile. Caches are extremely effective, which is exactly why the
+cache-less full-IOMMU configuration devastates it (~898% overhead in
+Fig. 4a) while the Border Control configurations, which keep the caches,
+barely register.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="lud",
+    description="blocked LU decomposition (dense, high tile reuse)",
+    footprint_bytes=4 * 1024 * 1024,
+    ops_per_wavefront=800,
+    write_fraction=0.25,
+    compute_gap_mean=1.1,
+    pattern="blocked",
+    l1_reuse=0.846,
+    l2_reuse=0.15,
+    l2_region_bytes=8 * 1024,
+    tile_blocks=32,
+    tile_passes=6,
+)

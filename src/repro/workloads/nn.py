@@ -1,0 +1,21 @@
+"""``nn`` — nearest neighbor (Rodinia).
+
+A scan over a large record array computing distances to a query point:
+pure streaming reads with a small hot query/result structure and light
+arithmetic. Very few writes (only the running best-candidates list).
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="nn",
+    description="nearest-neighbor record scan (streaming reads)",
+    footprint_bytes=8 * 1024 * 1024,
+    ops_per_wavefront=600,
+    write_fraction=0.05,
+    compute_gap_mean=40.1,
+    pattern="stream",
+    l1_reuse=0.77,
+    l2_reuse=0.2,
+    l2_region_bytes=12 * 1024,
+)

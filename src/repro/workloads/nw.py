@@ -1,0 +1,24 @@
+"""``nw`` — Needleman-Wunsch sequence alignment (Rodinia).
+
+Dynamic programming over a 2-D score matrix processed in anti-diagonal
+wavefronts: strided accesses across rows with reuse of the previous
+diagonal and little compute per cell. Cache-friendly once a diagonal is
+resident — so, like lud, it suffers badly (~814%) when the full IOMMU
+strips the caches away (Fig. 4a).
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="nw",
+    description="sequence-alignment DP (anti-diagonal wavefronts)",
+    footprint_bytes=8 * 1024 * 1024,
+    ops_per_wavefront=800,
+    write_fraction=0.35,
+    compute_gap_mean=1.0,
+    pattern="diagonal",
+    l1_reuse=0.846,
+    l2_reuse=0.15,
+    l2_region_bytes=12 * 1024,
+    row_blocks=128,
+)

@@ -1,0 +1,24 @@
+"""``pathfinder`` — grid shortest path (Rodinia).
+
+Row-by-row dynamic programming: each step reads the previous row and
+writes the current one, so the working set is a sliding two-row window.
+Regular and latency-tolerant — the paper shows almost no degradation for
+pathfinder under the CAPI-like configuration (Fig. 4a).
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="pathfinder",
+    description="grid DP over a sliding row window",
+    footprint_bytes=2 * 1024 * 1024,
+    ops_per_wavefront=600,
+    write_fraction=0.3,
+    compute_gap_mean=34.4,
+    pattern="rows",
+    l1_reuse=0.841,
+    l2_reuse=0.155,
+    l2_region_bytes=8 * 1024,
+    row_blocks=256,
+    row_window=2,
+)

@@ -1,0 +1,37 @@
+"""Registry of the seven Rodinia-proxy workloads (paper Fig. 4/5 order)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads import backprop, bfs, hotspot, lud, nn, nw, pathfinder
+
+__all__ = ["WORKLOADS", "get_workload", "workload_names"]
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        backprop.SPEC,
+        bfs.SPEC,
+        hotspot.SPEC,
+        lud.SPEC,
+        nn.SPEC,
+        nw.SPEC,
+        pathfinder.SPEC,
+    )
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOADS)}"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """Paper order: backprop, bfs, hotspot, lud, nn, nw, pathfinder."""
+    return list(WORKLOADS)

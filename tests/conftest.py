@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bcc import BCCConfig
+from repro.mem.phys_memory import PhysicalMemory
+from repro.osmodel.kernel import Kernel, ViolationPolicy
+from repro.sim.engine import Engine
+from repro.vm.frame_allocator import FrameAllocator
+
+from tests.util import MEM_128M
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def phys() -> PhysicalMemory:
+    return PhysicalMemory(MEM_128M)
+
+
+@pytest.fixture
+def allocator(phys) -> FrameAllocator:
+    return FrameAllocator(phys)
+
+
+@pytest.fixture
+def kernel(phys) -> Kernel:
+    return Kernel(phys, violation_policy=ViolationPolicy.LOG_ONLY)
+
+
+@pytest.fixture
+def bcc_config() -> BCCConfig:
+    return BCCConfig(num_entries=8, pages_per_entry=32)

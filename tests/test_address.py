@@ -1,0 +1,94 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+
+from repro.mem.address import (
+    BLOCK_SIZE,
+    LARGE_PAGE_SIZE,
+    PAGE_SIZE,
+    PAGES_PER_LARGE_PAGE,
+    align_down,
+    align_up,
+    block_of,
+    block_offset,
+    is_page_aligned,
+    page_base,
+    page_offset,
+    pages_spanned,
+    ppn_of,
+    vpn_of,
+)
+
+
+class TestConstants:
+    def test_paper_constants(self):
+        assert PAGE_SIZE == 4096
+        assert BLOCK_SIZE == 128
+        assert LARGE_PAGE_SIZE == 2 * 1024 * 1024
+        assert PAGES_PER_LARGE_PAGE == 512
+
+
+class TestPageMath:
+    def test_ppn_of(self):
+        assert ppn_of(0) == 0
+        assert ppn_of(4095) == 0
+        assert ppn_of(4096) == 1
+        assert ppn_of(0x12345678) == 0x12345
+
+    def test_vpn_matches_ppn_math(self):
+        assert vpn_of(0x7FFF_F123) == ppn_of(0x7FFF_F123)
+
+    def test_page_base_and_offset(self):
+        addr = 0x1234
+        assert page_base(addr) == 0x1000
+        assert page_offset(addr) == 0x234
+        assert page_base(addr) + page_offset(addr) == addr
+
+    def test_is_page_aligned(self):
+        assert is_page_aligned(0)
+        assert is_page_aligned(8192)
+        assert not is_page_aligned(8193)
+
+
+class TestBlockMath:
+    def test_block_of(self):
+        assert block_of(0) == 0
+        assert block_of(127) == 0
+        assert block_of(128) == 128
+        assert block_of(300) == 256
+
+    def test_block_offset(self):
+        assert block_offset(130) == 2
+
+    def test_blocks_per_page(self):
+        assert PAGE_SIZE // BLOCK_SIZE == 32
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(1000, 256) == 768
+
+    def test_align_up(self):
+        assert align_up(1000, 256) == 1024
+        assert align_up(1024, 256) == 1024
+
+    def test_alignment_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+        with pytest.raises(ValueError):
+            align_down(10, 0)
+
+
+class TestPagesSpanned:
+    def test_within_one_page(self):
+        assert pages_spanned(0, 4096) == 1
+        assert pages_spanned(100, 10) == 1
+
+    def test_straddles_boundary(self):
+        assert pages_spanned(4000, 200) == 2
+
+    def test_exact_multiple(self):
+        assert pages_spanned(0, 8192) == 2
+
+    def test_zero_length(self):
+        assert pages_spanned(123, 0) == 0

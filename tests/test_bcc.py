@@ -1,0 +1,151 @@
+"""Unit tests for the Border Control Cache (paper §3.1.2, Fig. 6 configs)."""
+
+import pytest
+
+from repro.core.bcc import BCCConfig, BorderControlCache, TAG_BITS
+from repro.core.permissions import Perm
+from repro.core.protection_table import ProtectionTable
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def table(phys, allocator):
+    return ProtectionTable.allocate(phys, allocator)
+
+
+@pytest.fixture
+def bcc():
+    return BorderControlCache(BCCConfig(num_entries=4, pages_per_entry=32))
+
+
+class TestConfig:
+    def test_default_matches_table3(self):
+        cfg = BCCConfig()
+        assert cfg.num_entries == 64
+        assert cfg.pages_per_entry == 512
+        # 64 entries x 128 B of permission bits = 8 KB (+ tags).
+        assert cfg.num_entries * cfg.pages_per_entry * 2 // 8 == 8192
+        assert cfg.reach_bytes == 128 * 2**20  # 128 MB reach (§3.1.2)
+
+    def test_entry_bits_include_tag(self):
+        cfg = BCCConfig(num_entries=1, pages_per_entry=1)
+        assert cfg.entry_bits == 2 + TAG_BITS
+
+    def test_from_budget(self):
+        cfg = BCCConfig.from_budget(1024, 512)
+        assert cfg.pages_per_entry == 512
+        assert cfg.num_entries == (1024 * 8) // (2 * 512 + TAG_BITS)
+
+    def test_from_budget_too_small(self):
+        with pytest.raises(ConfigurationError):
+            BCCConfig.from_budget(10, 512)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BCCConfig(num_entries=0)
+        with pytest.raises(ConfigurationError):
+            BCCConfig(pages_per_entry=0)
+
+
+class TestLookup:
+    def test_miss_then_hit(self, bcc, table):
+        table.grant(5, Perm.RW)
+        hit, perms = bcc.lookup(5, table)
+        assert not hit and perms is Perm.RW
+        hit, perms = bcc.lookup(5, table)
+        assert hit and perms is Perm.RW
+        assert bcc.misses == 1 and bcc.hits == 1
+
+    def test_entry_covers_neighboring_pages(self, bcc, table):
+        table.grant(0, Perm.R)
+        table.grant(31, Perm.W)
+        bcc.lookup(0, table)  # fills pages 0..31
+        hit, perms = bcc.lookup(31, table)
+        assert hit and perms is Perm.W
+
+    def test_lru_eviction(self, bcc, table):
+        for group in range(5):  # 5 groups into 4 entries
+            bcc.lookup(group * 32, table)
+        assert bcc.occupancy == 4
+        hit, _ = bcc.lookup(0, table)  # group 0 was evicted
+        assert not hit
+
+    def test_probe_has_no_side_effects(self, bcc, table):
+        hit, perms = bcc.probe(5)
+        assert not hit and perms is Perm.NONE
+        assert bcc.misses == 0 and bcc.occupancy == 0
+
+    def test_miss_ratio(self, bcc, table):
+        bcc.lookup(0, table)
+        bcc.lookup(0, table)
+        bcc.lookup(0, table)
+        assert bcc.miss_ratio() == pytest.approx(1 / 3)
+        assert BorderControlCache(BCCConfig()).miss_ratio() == 0.0
+
+
+class TestInsertion:
+    def test_insert_writes_through_to_table(self, bcc, table):
+        changed = bcc.insert_permission(7, Perm.RW, table)
+        assert changed is True
+        assert table.get(7) is Perm.RW  # visible in memory immediately
+
+    def test_insert_is_union(self, bcc, table):
+        bcc.insert_permission(7, Perm.R, table)
+        bcc.insert_permission(7, Perm.W, table)
+        assert table.get(7) is Perm.RW
+        hit, perms = bcc.lookup(7, table)
+        assert perms is Perm.RW
+
+    def test_redundant_insert_reports_no_change(self, bcc, table):
+        bcc.insert_permission(7, Perm.RW, table)
+        assert bcc.insert_permission(7, Perm.R, table) is False
+
+    def test_insert_updates_cached_entry(self, bcc, table):
+        bcc.lookup(7, table)  # cache the group with NONE perms
+        bcc.insert_permission(7, Perm.R, table)
+        hit, perms = bcc.lookup(7, table)
+        assert hit and perms is Perm.R
+
+
+class TestInvalidation:
+    def test_invalidate_all(self, bcc, table):
+        bcc.lookup(0, table)
+        bcc.invalidate_all()
+        assert bcc.occupancy == 0
+
+    def test_invalidate_page_refetches_from_table(self, bcc, table):
+        table.grant(5, Perm.RW)
+        bcc.lookup(5, table)
+        # The OS revokes in the table, then asks the BCC to resync.
+        table.revoke(5)
+        bcc.invalidate_page(5, table)
+        hit, perms = bcc.lookup(5, table)
+        assert hit and perms is Perm.NONE
+
+    def test_invalidate_uncached_page_is_noop(self, bcc, table):
+        bcc.invalidate_page(999, table)  # nothing cached: no error
+        assert bcc.occupancy == 0
+
+
+class TestGranularities:
+    @pytest.mark.parametrize("ppe", [1, 2, 32, 512])
+    def test_lookup_consistent_with_table_at_any_granularity(
+        self, table, ppe
+    ):
+        bcc = BorderControlCache(BCCConfig(num_entries=8, pages_per_entry=ppe))
+        pages = [0, 1, 7, 63, 512, 1000]
+        for i, ppn in enumerate(pages):
+            table.set(ppn, Perm(1 + (i % 3)))
+        for ppn in pages:
+            _hit, perms = bcc.lookup(ppn, table)
+            assert perms == table.get(ppn)
+
+    def test_single_page_entries(self, table):
+        bcc = BorderControlCache(BCCConfig(num_entries=2, pages_per_entry=1))
+        table.grant(0, Perm.R)
+        table.grant(1, Perm.W)
+        assert bcc.lookup(0, table)[1] is Perm.R
+        assert bcc.lookup(1, table)[1] is Perm.W
+        assert bcc.lookup(0, table)[0] is True  # still resident
+        bcc.lookup(2, table)  # evicts LRU (page 1)
+        assert bcc.lookup(1, table)[0] is False

@@ -1,0 +1,209 @@
+"""Unit tests for MOESI coherence and the §3.4.3 Border Control invariant."""
+
+import pytest
+
+from repro.mem.address import BLOCK_SIZE
+from repro.mem.coherence import (
+    CoherenceController,
+    CoherenceError,
+    CoherentAgent,
+    State,
+)
+from repro.mem.phys_memory import PhysicalMemory
+
+MB = 1024 * 1024
+BLOCK = 0x4000
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(MB)
+
+
+def make_system(memory, writable_pages=None):
+    """Controller + trusted CPU agent + untrusted accelerator agent."""
+    writable = set(writable_pages or [])
+
+    def perm_check(agent, ppn):
+        return ppn in writable
+
+    ctrl = CoherenceController(memory, write_perm_check=perm_check)
+    cpu = ctrl.attach(CoherentAgent("cpu"))
+    acc = ctrl.attach(CoherentAgent("acc", untrusted=True))
+    return ctrl, cpu, acc, writable
+
+
+class TestBasicProtocol:
+    def test_first_trusted_load_gets_exclusive(self, memory):
+        ctrl, cpu, _acc, _w = make_system(memory)
+        memory.write(BLOCK, b"DATA")
+        assert cpu.load(BLOCK)[:4] == b"DATA"
+        assert cpu.state_of(BLOCK) is State.EXCLUSIVE
+
+    def test_second_load_downgrades_exclusive_to_shared(self, memory):
+        ctrl, cpu, acc, writable = make_system(memory)
+        cpu.load(BLOCK)
+        acc.load(BLOCK)
+        assert cpu.state_of(BLOCK) is State.SHARED
+        assert acc.state_of(BLOCK) is State.SHARED
+
+    def test_untrusted_first_load_never_gets_exclusive(self, memory):
+        """§3.4.3: no E grants to untrusted caches on GetS."""
+        ctrl, _cpu, acc, _w = make_system(memory)
+        acc.load(BLOCK)
+        assert acc.state_of(BLOCK) is State.SHARED
+
+    def test_store_invalidates_other_copies(self, memory):
+        ctrl, cpu, acc, writable = make_system(memory, writable_pages=[BLOCK >> 12])
+        cpu.load(BLOCK)
+        acc.load(BLOCK)
+        cpu.store(BLOCK, b"X" * BLOCK_SIZE)
+        assert cpu.state_of(BLOCK) is State.MODIFIED
+        assert acc.state_of(BLOCK) is State.INVALID
+
+    def test_dirty_owner_supplies_data(self, memory):
+        ctrl, cpu, acc, writable = make_system(memory, writable_pages=[BLOCK >> 12])
+        cpu.store(BLOCK, b"Y" * BLOCK_SIZE)
+        data = acc.load(BLOCK)
+        assert data == b"Y" * BLOCK_SIZE
+        assert cpu.state_of(BLOCK) in (State.OWNED, State.SHARED)
+
+    def test_eviction_of_dirty_block_updates_memory(self, memory):
+        ctrl, cpu, _acc, _w = make_system(memory, writable_pages=[BLOCK >> 12])
+        cpu.store(BLOCK, b"Z" * BLOCK_SIZE)
+        cpu.evict(BLOCK)
+        assert memory.read(BLOCK, BLOCK_SIZE) == b"Z" * BLOCK_SIZE
+        assert ctrl.stats["writebacks"] == 1
+
+    def test_clean_eviction_is_silent(self, memory):
+        ctrl, cpu, _acc, _w = make_system(memory)
+        cpu.load(BLOCK)
+        cpu.evict(BLOCK)
+        assert ctrl.stats["writebacks"] == 0
+
+    def test_store_requires_block_granularity(self, memory):
+        ctrl, cpu, _acc, _w = make_system(memory, writable_pages=[BLOCK >> 12])
+        with pytest.raises(CoherenceError):
+            cpu.store(BLOCK, b"short")
+
+    def test_detached_agent_rejected(self, memory):
+        agent = CoherentAgent("floating")
+        with pytest.raises(CoherenceError):
+            agent.load(BLOCK)
+
+    def test_double_attach_rejected(self, memory):
+        ctrl, cpu, _acc, _w = make_system(memory)
+        with pytest.raises(CoherenceError):
+            ctrl.attach(cpu)
+
+
+class TestBorderControlInvariant:
+    def test_untrusted_getm_without_write_permission_rejected(self, memory):
+        ctrl, _cpu, acc, _w = make_system(memory)  # nothing writable
+        with pytest.raises(CoherenceError, match="ownership"):
+            acc.store(BLOCK, b"evil" * 32)
+
+    def test_untrusted_getm_with_permission_succeeds(self, memory):
+        ctrl, _cpu, acc, writable = make_system(memory, writable_pages=[BLOCK >> 12])
+        acc.store(BLOCK, b"OK" * 64)
+        assert acc.state_of(BLOCK) is State.MODIFIED
+
+    def test_dirty_block_forced_to_memory_before_untrusted_read(self, memory):
+        """The exclusive-cache corner case: a dirty block requested
+        read-only by an untrusted cache is first written back (§3.4.3)."""
+        ctrl, cpu, acc, writable = make_system(memory, writable_pages=[BLOCK >> 12])
+        cpu.store(BLOCK, b"W" * BLOCK_SIZE)
+        writable.discard(BLOCK >> 12)  # accelerator may not write this page
+        acc.load(BLOCK)
+        assert memory.read(BLOCK, BLOCK_SIZE) == b"W" * BLOCK_SIZE
+        assert ctrl.stats["forced_writebacks"] == 1
+        # Ownership returned to memory: the CPU copy is now merely shared.
+        assert cpu.state_of(BLOCK) is State.SHARED
+
+    def test_untrusted_writeback_blocked_after_revocation(self, memory):
+        """Ignored-flush path: dirty data written back after permission
+        loss is dropped at the border (§3.2.4)."""
+        ctrl, _cpu, acc, writable = make_system(memory, writable_pages=[BLOCK >> 12])
+        acc.store(BLOCK, b"D" * BLOCK_SIZE)
+        writable.discard(BLOCK >> 12)  # downgrade while dirty inside
+        acc.evict(BLOCK)
+        assert memory.read(BLOCK, BLOCK_SIZE) == bytes(BLOCK_SIZE)
+        assert ctrl.stats["blocked_writebacks"] == 1
+
+    def test_invariant_checker_detects_violations(self, memory):
+        ctrl, _cpu, acc, writable = make_system(memory, writable_pages=[BLOCK >> 12])
+        acc.store(BLOCK, b"M" * BLOCK_SIZE)
+        writable.discard(BLOCK >> 12)
+        # The accelerator still owns a now-non-writable block: illegal.
+        with pytest.raises(CoherenceError, match="invariant"):
+            ctrl.check_all_invariants()
+
+    def test_check_all_invariants_passes_clean_system(self, memory):
+        ctrl, cpu, acc, _w = make_system(memory, writable_pages=[BLOCK >> 12])
+        cpu.load(BLOCK)
+        acc.load(BLOCK)
+        ctrl.check_all_invariants()
+
+
+class TestDataIntegrity:
+    def test_value_propagation_through_sharers(self, memory):
+        ctrl, cpu, acc, writable = make_system(memory, writable_pages=[0x10])
+        block = 0x10000
+        cpu.store(block, b"1" * BLOCK_SIZE)
+        assert acc.load(block) == b"1" * BLOCK_SIZE
+        cpu.store(block, b"2" * BLOCK_SIZE)
+        assert acc.load(block) == b"2" * BLOCK_SIZE
+
+    def test_single_owner_at_all_times(self, memory):
+        ctrl, cpu, acc, writable = make_system(memory, writable_pages=[0x10, 0x20])
+        for block in (0x10000, 0x20000):
+            cpu.store(block, b"a" * BLOCK_SIZE)
+            acc.load(block)
+            owners = [s for _a, s in ctrl.holders(block) if s.is_owner]
+            assert len(owners) <= 1
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # agent index
+            st.sampled_from(["load", "store", "evict"]),
+            st.integers(min_value=0, max_value=7),  # block index
+            st.integers(min_value=0, max_value=255),  # store fill byte
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_moesi_matches_sequential_reference(ops):
+    """For any op interleaving (all pages writable), every load returns
+    the most recently stored value — MOESI is invisible to software."""
+    memory = PhysicalMemory(MB)
+    ctrl = CoherenceController(memory)  # all writes permitted
+    agents = [
+        ctrl.attach(CoherentAgent(f"a{i}", untrusted=(i == 2))) for i in range(3)
+    ]
+    reference = {}  # block -> bytes
+    for agent_idx, op, block_idx, fill in ops:
+        agent = agents[agent_idx]
+        block = 0x8000 + block_idx * BLOCK_SIZE
+        if op == "load":
+            expected = reference.get(block, bytes(BLOCK_SIZE))
+            assert agent.load(block) == expected
+        elif op == "store":
+            data = bytes([fill]) * BLOCK_SIZE
+            agent.store(block, data)
+            reference[block] = data
+        else:
+            agent.evict(block)
+        ctrl.check_all_invariants()
+    # Evict everything: memory must now hold the reference state.
+    for agent in agents:
+        for block in list(agent.blocks):
+            agent.evict(block)
+    for block, data in reference.items():
+        assert memory.read(block, BLOCK_SIZE) == data

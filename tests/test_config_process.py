@@ -1,0 +1,133 @@
+"""Unit tests for configuration dataclasses and process bookkeeping."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.bcc import BCCConfig
+from repro.errors import ConfigurationError
+from repro.mem.address import PAGE_SHIFT, PAGE_SIZE
+from repro.osmodel.process import Process, ProcessState, VMArea
+from repro.sim.config import (
+    GIB,
+    GPUThreading,
+    SafetyMode,
+    SystemConfig,
+    TimingParams,
+)
+from repro.vm.page_table import PageTable
+
+
+class TestSafetyMode:
+    def test_table2_matrix(self):
+        """Every cell of the paper's Table 2."""
+        rows = {
+            SafetyMode.ATS_ONLY: (False, True, True, True, None),
+            SafetyMode.FULL_IOMMU: (True, False, False, False, None),
+            SafetyMode.CAPI_LIKE: (True, False, False, True, None),
+            SafetyMode.BC_NO_BCC: (True, True, True, True, False),
+            SafetyMode.BC_BCC: (True, True, True, True, True),
+        }
+        for mode, (safe, l1, tlb, l2, bcc) in rows.items():
+            assert mode.safe == safe, mode
+            assert mode.has_accel_l1_cache == l1, mode
+            assert mode.has_accel_l1_tlb == tlb, mode
+            assert mode.has_l2_cache == l2, mode
+            assert mode.has_bcc == bcc, mode
+
+    def test_uses_border_control(self):
+        assert SafetyMode.BC_BCC.uses_border_control
+        assert SafetyMode.BC_NO_BCC.uses_border_control
+        assert not SafetyMode.CAPI_LIKE.uses_border_control
+
+    def test_labels_unique(self):
+        labels = [m.label for m in SafetyMode]
+        assert len(set(labels)) == len(labels)
+
+
+class TestGPUThreading:
+    def test_table3_values(self):
+        assert GPUThreading.HIGHLY.num_cus == 8
+        assert GPUThreading.MODERATELY.num_cus == 1
+        assert GPUThreading.HIGHLY.l2_cache_bytes == 256 * 1024
+        assert GPUThreading.MODERATELY.l2_cache_bytes == 64 * 1024
+
+
+class TestSystemConfig:
+    def test_defaults_match_table3(self):
+        cfg = SystemConfig()
+        assert cfg.cpu_freq_hz == 3e9
+        assert cfg.gpu_freq_hz == 700e6
+        assert cfg.peak_bandwidth_bytes_per_s == 180e9
+        assert cfg.gpu_l1_cache_bytes == 16 * 1024
+        assert cfg.gpu_l1_tlb_entries == 64
+        assert cfg.iommu_l2_tlb_entries == 512
+        assert cfg.bcc == BCCConfig()
+        assert cfg.phys_mem_bytes == 3 * GIB
+
+    def test_with_safety_and_threading_are_pure(self):
+        cfg = SystemConfig()
+        other = cfg.with_safety(SafetyMode.FULL_IOMMU).with_threading(
+            GPUThreading.MODERATELY
+        )
+        assert cfg.safety is SafetyMode.BC_BCC
+        assert other.safety is SafetyMode.FULL_IOMMU
+        assert other.threading is GPUThreading.MODERATELY
+
+    def test_l2_size_follows_threading(self):
+        assert SystemConfig(threading=GPUThreading.HIGHLY).gpu_l2_cache_bytes == 256 * 1024
+        assert (
+            SystemConfig(threading=GPUThreading.MODERATELY).gpu_l2_cache_bytes
+            == 64 * 1024
+        )
+
+    def test_minimum_memory_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(phys_mem_bytes=1024)
+
+    def test_timing_params_frozen(self):
+        timing = TimingParams()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            timing.bcc_cycles = 1  # type: ignore[misc]
+
+    def test_describe(self):
+        text = SystemConfig().describe()
+        assert "Border Control-BCC" in text and "Highly threaded" in text
+
+
+class TestVMArea:
+    def test_geometry(self):
+        area = VMArea(start_vpn=0x100, num_pages=4, perms=None)
+        assert area.start_vaddr == 0x100 * PAGE_SIZE
+        assert area.length == 4 * PAGE_SIZE
+        assert area.contains_vpn(0x103)
+        assert not area.contains_vpn(0x104)
+
+
+class TestProcess:
+    def _proc(self, phys, allocator):
+        return Process(1, "p", PageTable(phys, allocator, asid=7))
+
+    def test_asid_comes_from_page_table(self, phys, allocator):
+        proc = self._proc(phys, allocator)
+        assert proc.asid == 7
+
+    def test_reserve_vpns_disjoint_and_aligned(self, phys, allocator):
+        proc = self._proc(phys, allocator)
+        a = proc.reserve_vpns(10)
+        b = proc.reserve_vpns(512, alignment_pages=512)
+        assert b % 512 == 0
+        assert b >= a + 10
+
+    def test_area_lookup(self, phys, allocator):
+        proc = self._proc(phys, allocator)
+        start = proc.reserve_vpns(4)
+        proc.areas[start] = VMArea(start, 4, None)
+        assert proc.area_for_vpn(start + 3) is not None
+        assert proc.area_for_vpn(start + 4) is None
+
+    def test_alive_transitions(self, phys, allocator):
+        proc = self._proc(phys, allocator)
+        assert proc.alive
+        proc.state = ProcessState.KILLED
+        assert not proc.alive

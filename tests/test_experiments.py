@@ -1,0 +1,130 @@
+"""Tests for the experiment drivers (quick-scale runs) and caching."""
+
+import pytest
+
+from repro.core.bcc import BCCConfig
+from repro.experiments import common, fig4, fig5, fig6, fig7, storage, tables
+from repro.sim.config import GPUThreading, SafetyMode
+
+QUICK = dict(ops_scale=0.05, workloads=["bfs"])
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.clear_cache()
+    yield
+    common.clear_cache()
+
+
+class TestCaching:
+    def test_disk_roundtrip(self):
+        a = common.cached_run("bfs", SafetyMode.ATS_ONLY, GPUThreading.MODERATELY,
+                              ops_scale=0.05)
+        common._memory_cache.clear()
+        b = common.cached_run("bfs", SafetyMode.ATS_ONLY, GPUThreading.MODERATELY,
+                              ops_scale=0.05)
+        assert a.ticks == b.ticks
+        assert b.safety is SafetyMode.ATS_ONLY
+
+    def test_memory_memoization_returns_same_object(self):
+        a = common.cached_run("bfs", SafetyMode.ATS_ONLY, GPUThreading.MODERATELY,
+                              ops_scale=0.05)
+        b = common.cached_run("bfs", SafetyMode.ATS_ONLY, GPUThreading.MODERATELY,
+                              ops_scale=0.05)
+        assert a is b
+
+    def test_key_distinguishes_parameters(self):
+        k1 = common._key("bfs", SafetyMode.ATS_ONLY, GPUThreading.HIGHLY, seed=1)
+        k2 = common._key("bfs", SafetyMode.ATS_ONLY, GPUThreading.HIGHLY, seed=2)
+        k3 = common._key("bfs", SafetyMode.BC_BCC, GPUThreading.HIGHLY, seed=1)
+        assert len({k1, k2, k3}) == 3
+
+    def test_text_table_alignment(self):
+        out = common.text_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out
+
+
+class TestFig4:
+    def test_overheads_and_render(self):
+        result = fig4.run(GPUThreading.MODERATELY, **QUICK)
+        for mode in fig4.SAFETY_MODES:
+            assert "bfs" in result.overheads[mode]
+        assert result.overheads[SafetyMode.FULL_IOMMU]["bfs"] > result.overheads[
+            SafetyMode.BC_BCC
+        ]["bfs"]
+        text = result.render()
+        assert "Figure 4" in text and "GEOMEAN" in text
+
+
+class TestFig5:
+    def test_rates_positive(self):
+        result = fig5.run(threading=GPUThreading.MODERATELY, **QUICK)
+        assert result.requests_per_cycle["bfs"] > 0
+        assert "Figure 5" in result.render()
+
+
+class TestFig6:
+    def test_sweep_shapes(self):
+        result = fig6.run(
+            sizes_bytes=[64, 512, 1024],
+            pages_per_entry=[1, 512],
+            workloads=["bfs"],
+            threading=GPUThreading.MODERATELY,
+            ops_scale=0.05,
+        )
+        line = result.miss_ratio[1]
+        assert line[0] >= line[-1]  # bigger cache, fewer misses
+        assert result.miss_ratio[512][0] is None  # 64 B can't hold one entry
+        assert "Figure 6" in result.render()
+
+    def test_replay_miss_ratio_extremes(self):
+        stream = [(p, False) for p in range(100)] * 2
+        tiny = fig6.replay_miss_ratio(stream, BCCConfig(num_entries=1, pages_per_entry=1))
+        big = fig6.replay_miss_ratio(stream, BCCConfig(num_entries=64, pages_per_entry=512))
+        assert big < tiny
+        assert big <= 1 / 200 + 0.01  # one compulsory miss total
+
+
+class TestFig7:
+    def test_linear_in_rate_and_render(self):
+        result = fig7.run(
+            rates=[0, 500, 1000],
+            workloads=["bfs"],
+            injection_interval_cycles=400,
+            ops_scale=0.2,
+        )
+        series = result.series(SafetyMode.BC_BCC, GPUThreading.MODERATELY)
+        assert series[0] == 0.0
+        assert series[2] == pytest.approx(2 * series[1], rel=1e-6)
+        assert "Figure 7" in result.render()
+
+
+class TestTablesAndStorage:
+    def test_table1_contents(self):
+        text = tables.table1()
+        assert "Border Control" in text and "TrustZone" in text
+
+    def test_table1_verification_probes(self):
+        results = tables.verify_table1()
+        assert all(results.values())
+
+    def test_table2_matches_safety_modes(self):
+        text = tables.table2()
+        assert "Border Control-noBCC" in text
+        assert "n/a" in text  # BCC column for non-BC rows
+
+    def test_table3_paper_values(self):
+        text = tables.table3()
+        assert "700 MHz" in text
+        assert "180 GB/s" in text
+        assert "8KB" in text and "10 cycles" in text and "100 cycles" in text
+
+    def test_storage_numbers(self):
+        result = storage.run()
+        assert result.table_fraction == pytest.approx(1 / 16384, rel=0.05)
+        assert result.bcc_reach_bytes == 128 * 2**20
+        assert result.sixteen_gib_table_bytes == 2**20
+        assert "0.006%" in result.render()

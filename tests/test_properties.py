@@ -1,0 +1,396 @@
+"""Property-based tests (hypothesis) for the safety invariants of DESIGN.md §5.
+
+These are the load-bearing guarantees: for *any* sequence of legitimate
+OS/ATS activity and *any* (including adversarial) accelerator request
+stream, Border Control never lets an access exceed the page-table
+permissions that produced the Protection Table contents.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bcc import BCCConfig, BorderControlCache
+from repro.core.border_control import BorderControl
+from repro.core.permissions import Perm
+from repro.core.protection_table import ProtectionTable
+from repro.mem.address import BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE
+from repro.mem.phys_memory import PhysicalMemory
+from repro.vm.frame_allocator import FrameAllocator
+from repro.vm.page_table import PageTable
+
+MEM = 32 * 1024 * 1024  # 32 MiB arenas keep the strategies fast
+NUM_PAGES = MEM // PAGE_SIZE
+
+perms_st = st.sampled_from([Perm.NONE, Perm.R, Perm.W, Perm.RW])
+ppn_st = st.integers(min_value=0, max_value=NUM_PAGES - 1)
+
+
+def fresh():
+    phys = PhysicalMemory(MEM)
+    return phys, FrameAllocator(phys)
+
+
+# ---------------------------------------------------------------------------
+# Invariant 1/2: the decision matches the granted permissions exactly, for
+# any interleaving of grants, revocations, zeroings, and checks.
+# ---------------------------------------------------------------------------
+
+op_st = st.one_of(
+    st.tuples(st.just("grant"), ppn_st, st.sampled_from([Perm.R, Perm.W, Perm.RW])),
+    st.tuples(st.just("revoke"), ppn_st, st.none()),
+    st.tuples(st.just("zero"), st.none(), st.none()),
+    st.tuples(st.just("check"), ppn_st, st.booleans()),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(op_st, min_size=1, max_size=60))
+def test_checks_always_match_reference_permissions(ops):
+    phys, allocator = fresh()
+    bc = BorderControl("gpu0", phys, allocator)
+    bc.process_init(1)
+    reference = {}  # the model: ppn -> Perm
+    for op, arg1, arg2 in ops:
+        if op == "grant":
+            bc.insert_translation(arg1, arg2)
+            reference[arg1] = reference.get(arg1, Perm.NONE) | arg2
+        elif op == "revoke":
+            bc.downgrade_page(arg1)
+            reference[arg1] = Perm.NONE
+        elif op == "zero":
+            bc.downgrade_all()
+            reference.clear()
+        else:  # check
+            decision = bc.check(arg1 << PAGE_SHIFT, write=arg2)
+            expected = Perm(reference.get(arg1, Perm.NONE)).allows(arg2)
+            assert decision.allowed == expected
+
+
+# ---------------------------------------------------------------------------
+# Invariant: the BCC is a pure cache — with and without it, identical
+# decisions for any request stream.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    grants=st.lists(st.tuples(ppn_st, st.sampled_from([Perm.R, Perm.W, Perm.RW])),
+                    min_size=1, max_size=30),
+    checks=st.lists(st.tuples(ppn_st, st.booleans()), min_size=1, max_size=60),
+    entries=st.integers(min_value=1, max_value=8),
+    ppe=st.sampled_from([1, 2, 32, 512]),
+)
+def test_bcc_transparent_to_decisions(grants, checks, entries, ppe):
+    phys_a, alloc_a = fresh()
+    phys_b, alloc_b = fresh()
+    with_bcc = BorderControl(
+        "a", phys_a, alloc_a, bcc_config=BCCConfig(num_entries=entries, pages_per_entry=ppe)
+    )
+    without = BorderControl("b", phys_b, alloc_b, bcc_config=None)
+    with_bcc.process_init(1)
+    without.process_init(1)
+    for ppn, perm in grants:
+        with_bcc.insert_translation(ppn, perm)
+        without.insert_translation(ppn, perm)
+    for ppn, write in checks:
+        a = with_bcc.check(ppn << PAGE_SHIFT, write)
+        b = without.check(ppn << PAGE_SHIFT, write)
+        assert a.allowed == b.allowed
+        assert a.perms == b.perms
+
+
+# ---------------------------------------------------------------------------
+# Invariant 1 (lazy population): the Protection Table never grants more
+# than the page table does at insertion time.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mappings=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=500),  # vpn
+            st.sampled_from([Perm.R, Perm.W, Perm.RW]),
+        ),
+        min_size=1,
+        max_size=25,
+        unique_by=lambda m: m[0],
+    ),
+    data=st.data(),
+)
+def test_protection_table_never_exceeds_page_table(mappings, data):
+    phys, allocator = fresh()
+    page_table = PageTable(phys, allocator, asid=1)
+    bc = BorderControl("gpu0", phys, allocator)
+    bc.process_init(1)
+    for vpn, perm in mappings:
+        frame = allocator.alloc()
+        page_table.map(vpn, frame, perm)
+    # The ATS inserts some subset of translations (any order/multiplicity).
+    translated = data.draw(
+        st.lists(st.sampled_from(mappings), min_size=0, max_size=40)
+    )
+    for vpn, _perm in translated:
+        translation = page_table.translate_vpn(vpn)
+        bc.insert_translation(translation.ppn, translation.perms)
+    # Invariant: every populated table entry is <= the page-table perms of
+    # SOME mapping to that frame (here mappings are unique per frame).
+    by_ppn = {
+        page_table.translate_vpn(vpn).ppn: page_table.translate_vpn(vpn).perms
+        for vpn, _ in mappings
+    }
+    for ppn, perms in bc.table.populated():
+        assert ppn in by_ppn
+        assert (perms & ~by_ppn[ppn]) == Perm.NONE
+
+
+# ---------------------------------------------------------------------------
+# Protection Table bit layout: get/set/read_bits agree for any pattern.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    assignments=st.dictionaries(
+        st.integers(min_value=0, max_value=2047), perms_st, min_size=1, max_size=64
+    ),
+    window_start=st.integers(min_value=0, max_value=2000),
+    window_len=st.integers(min_value=1, max_value=48),
+)
+def test_read_bits_agrees_with_get(assignments, window_start, window_len):
+    phys, allocator = fresh()
+    table = ProtectionTable.allocate(phys, allocator)
+    for ppn, perm in assignments.items():
+        table.set(ppn, perm)
+    packed = table.read_bits(window_start, window_len)
+    for i in range(window_len):
+        field = Perm((packed >> (2 * i)) & 0x3)
+        assert field == table.get(window_start + i)
+
+
+# ---------------------------------------------------------------------------
+# BCC consistency: after any lookup/insert sequence, cached fields always
+# equal the backing table fields.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["lookup", "insert", "inval_page", "inval_all"]),
+            st.integers(min_value=0, max_value=4095),
+            st.sampled_from([Perm.R, Perm.W, Perm.RW]),
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    ppe=st.sampled_from([1, 2, 32, 512]),
+)
+def test_bcc_never_stale_under_writethrough_discipline(ops, ppe):
+    phys, allocator = fresh()
+    table = ProtectionTable.allocate(phys, allocator)
+    bcc = BorderControlCache(BCCConfig(num_entries=4, pages_per_entry=ppe))
+    for op, ppn, perm in ops:
+        if op == "lookup":
+            _hit, perms = bcc.lookup(ppn, table)
+            assert perms == table.get(ppn)
+        elif op == "insert":
+            bcc.insert_permission(ppn, perm, table)
+        elif op == "inval_page":
+            table.revoke(ppn)
+            bcc.invalidate_page(ppn, table)
+        else:
+            bcc.invalidate_all()
+        # Global consistency of every cached field.
+        for group, packed in bcc._entries.items():
+            base = group * ppe
+            expected = table.read_bits(base, ppe)
+            assert packed == expected
+
+
+# ---------------------------------------------------------------------------
+# Physical memory: random read/write/zero sequences against a dict model.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "zero"]),
+            st.integers(min_value=0, max_value=MEM - 256),
+            st.integers(min_value=1, max_value=256),
+            st.binary(min_size=1, max_size=256),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_phys_memory_matches_reference_model(ops):
+    phys = PhysicalMemory(MEM)
+    model = bytearray(1)  # sparse dict model: addr -> byte
+    shadow = {}
+    for op, addr, length, blob in ops:
+        if op == "write":
+            data = (blob * (length // len(blob) + 1))[:length]
+            phys.write(addr, data)
+            for i, b in enumerate(data):
+                shadow[addr + i] = b
+        else:
+            phys.zero_range(addr, length)
+            for i in range(length):
+                shadow.pop(addr + i, None)
+    # Verify a sample of addresses including all written ones.
+    for addr in list(shadow)[:512]:
+        assert phys.read(addr, 1)[0] == shadow[addr]
+
+
+# ---------------------------------------------------------------------------
+# Adversarial end-to-end: arbitrary physical request streams from a
+# malicious accelerator never observe or modify unauthorized bytes.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rogue=st.lists(
+        st.tuples(ppn_st, st.integers(0, PAGE_SIZE - BLOCK_SIZE), st.booleans()),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_arbitrary_rogue_stream_is_contained(rogue):
+    from repro.sim.config import SafetyMode
+    from tests.util import make_system
+
+    system = make_system(SafetyMode.BC_BCC)
+    victim = system.new_process("victim")
+    secret_vaddr = system.kernel.mmap(victim, 1, Perm.RW)
+    system.kernel.proc_write(victim, secret_vaddr, b"\xabSECRET\xcd" * 16)
+    secret_ppn = victim.page_table.translate(secret_vaddr).ppn
+
+    attacker = system.new_process("attacker")
+    system.attach_process(attacker)
+    granted_vaddr = system.kernel.mmap(attacker, 4, Perm.RW)
+    for i in range(4):
+        system.engine.run_process(
+            system.ats.translate("gpu0", attacker.asid, (granted_vaddr >> 12) + i)
+        )
+    granted = {
+        attacker.page_table.translate(granted_vaddr + i * PAGE_SIZE).ppn
+        for i in range(4)
+    }
+
+    port = system.border_port
+    for ppn, offset, write in rogue:
+        paddr = (ppn << PAGE_SHIFT) + (offset & ~(BLOCK_SIZE - 1))
+        if write:
+            before = system.phys.read(paddr, BLOCK_SIZE)
+            result = system.engine.run_process(
+                port.access(paddr, BLOCK_SIZE, True, b"\xee" * BLOCK_SIZE)
+            )
+            if ppn not in granted:
+                assert result is None
+                assert system.phys.read(paddr, BLOCK_SIZE) == before
+        else:
+            result = system.engine.run_process(port.access(paddr, BLOCK_SIZE, False))
+            if ppn not in granted:
+                assert result is None
+    # The secret never moved and was never readable.
+    data = system.kernel.proc_read(victim, secret_vaddr, 128)
+    assert data == b"\xabSECRET\xcd" * 16
+
+
+# ---------------------------------------------------------------------------
+# Cache hierarchy correctness: an L1->L2->memory chain behaves exactly like
+# flat memory for any access sequence, once flushed.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),  # block index
+            st.booleans(),  # write?
+            st.binary(min_size=8, max_size=8),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    l1_write_back=st.booleans(),
+)
+def test_cache_hierarchy_equivalent_to_flat_memory(ops, l1_write_back):
+    from repro.mem.cache import Cache, CacheConfig
+    from repro.mem.dram import DRAM, DRAMConfig
+    from repro.mem.port import MemoryController
+    from repro.sim.engine import Engine
+    from repro.sim.stats import StatDomain
+
+    engine = Engine()
+    phys = PhysicalMemory(MEM)
+    dram = DRAM(engine, DRAMConfig(), StatDomain("dram"))
+    memctl = MemoryController(phys, dram)
+    l2 = Cache(
+        engine,
+        CacheConfig(name="l2", size_bytes=4096, associativity=4, hit_latency_ticks=1),
+        memctl,
+        StatDomain("l2"),
+    )
+    l1 = Cache(
+        engine,
+        CacheConfig(
+            name="l1",
+            size_bytes=1024,
+            associativity=2,
+            hit_latency_ticks=1,
+            write_back=l1_write_back,
+            write_allocate=l1_write_back,
+        ),
+        l2,
+        StatDomain("l1"),
+    )
+    reference = {}
+    for block_index, write, payload in ops:
+        addr = block_index * BLOCK_SIZE
+        if write:
+            engine.run_process(l1.access(addr, 8, True, payload))
+            reference[addr] = payload
+        else:
+            data = engine.run_process(l1.access(addr, 8, False))
+            assert data == reference.get(addr, bytes(8))
+    # After a full flush, physical memory holds exactly the reference state.
+    engine.run_process(l1.flush_all())
+    engine.run_process(l2.flush_all())
+    for addr, payload in reference.items():
+        assert phys.read(addr, 8) == payload
+
+
+# ---------------------------------------------------------------------------
+# Engine determinism: identical schedules produce identical timelines.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30)
+)
+def test_engine_deterministic_timeline(delays):
+    from repro.sim.engine import Engine
+
+    def timeline():
+        engine = Engine()
+        log = []
+
+        def proc(i, d):
+            yield d
+            log.append((engine.now, i))
+            yield d
+            log.append((engine.now, i))
+
+        for i, d in enumerate(delays):
+            engine.process(proc(i, d))
+        engine.run()
+        return log
+
+    assert timeline() == timeline()

@@ -1,0 +1,157 @@
+"""Unit tests for the Protection Table (paper §3.1.1, Fig. 2)."""
+
+import pytest
+
+from repro.core.permissions import Perm
+from repro.core.protection_table import PAGES_PER_BLOCK, ProtectionTable
+from repro.errors import ConfigurationError
+from repro.mem.address import BLOCK_SIZE, PAGE_SIZE
+
+
+@pytest.fixture
+def table(phys, allocator):
+    return ProtectionTable.allocate(phys, allocator)
+
+
+class TestLayout:
+    def test_initialized_to_no_permissions(self, table):
+        for ppn in (0, 1, 100, table.covered_pages - 1):
+            assert table.get(ppn) is Perm.NONE
+
+    def test_two_bits_per_page_fig2_layout(self, table, phys):
+        """PPN p lives at byte p>>2, bits 2*(p&3); R=bit0, W=bit1."""
+        table.set(5, Perm.RW)
+        byte = phys.read(table.base_paddr + (5 >> 2), 1)[0]
+        assert (byte >> (2 * (5 & 3))) & 0x3 == 0x3
+        table.set(5, Perm.R)
+        byte = phys.read(table.base_paddr + (5 >> 2), 1)[0]
+        assert (byte >> (2 * (5 & 3))) & 0x3 == 0x1
+
+    def test_four_pages_per_byte_independent(self, table):
+        perms = [Perm.R, Perm.W, Perm.RW, Perm.NONE]
+        for p, perm in enumerate(perms):
+            if perm is not Perm.NONE:
+                table.set(p, perm)
+        for p, perm in enumerate(perms):
+            assert table.get(p) == perm
+
+    def test_block_covers_512_pages(self):
+        assert PAGES_PER_BLOCK == 512
+
+    def test_size_matches_paper_fraction(self, table):
+        # 2 bits per 4 KB page = 1/16384 of covered memory (0.006%).
+        assert table.storage_overhead_fraction() == pytest.approx(1 / 16384, rel=0.05)
+
+    def test_table_lives_in_physical_memory(self, table, phys):
+        table.set(1000, Perm.RW)
+        raw = phys.read(table.base_paddr + (1000 >> 2), 1)
+        assert raw[0] != 0
+
+    def test_base_must_be_page_aligned(self, phys):
+        with pytest.raises(ConfigurationError):
+            ProtectionTable(phys, base_paddr=123, covered_pages=16)
+
+    def test_must_fit_in_memory(self, phys):
+        with pytest.raises(ConfigurationError):
+            ProtectionTable(phys, base_paddr=phys.size - PAGE_SIZE, covered_pages=1 << 24)
+
+
+class TestBounds:
+    def test_covers(self, table):
+        assert table.covers(0)
+        assert table.covers(table.covered_pages - 1)
+        assert not table.covers(table.covered_pages)
+        assert not table.covers(-1)
+
+    def test_get_out_of_bounds_is_none_permission(self, table):
+        assert table.get(table.covered_pages + 5) is Perm.NONE
+
+    def test_set_out_of_bounds_rejected(self, table):
+        with pytest.raises(ConfigurationError):
+            table.set(table.covered_pages, Perm.R)
+
+
+class TestGrantRevoke:
+    def test_grant_is_monotonic_or(self, table):
+        assert table.grant(7, Perm.R) is True
+        assert table.grant(7, Perm.W) is True
+        assert table.get(7) is Perm.RW
+        assert table.grant(7, Perm.R) is False  # no change
+
+    def test_revoke(self, table):
+        table.grant(7, Perm.RW)
+        table.revoke(7)
+        assert table.get(7) is Perm.NONE
+
+    def test_zero_clears_everything(self, table):
+        for ppn in (1, 100, 1000, 5000):
+            table.grant(ppn, Perm.RW)
+        table.zero()
+        for ppn in (1, 100, 1000, 5000):
+            assert table.get(ppn) is Perm.NONE
+
+    def test_populated_iterates_only_set_pages(self, table):
+        table.grant(3, Perm.R)
+        table.grant(1000, Perm.RW)
+        assert dict(table.populated()) == {3: Perm.R, 1000: Perm.RW}
+
+
+class TestBlockAccess:
+    def test_read_block(self, table):
+        table.set(0, Perm.RW)
+        table.set(511, Perm.R)
+        block = table.read_block(0)
+        assert len(block) == BLOCK_SIZE
+        assert block[0] & 0x3 == 0x3
+        assert (block[127] >> 6) & 0x3 == 0x1
+
+    def test_read_bits_aligned(self, table):
+        table.set(8, Perm.R)
+        table.set(9, Perm.W)
+        packed = table.read_bits(8, 4)
+        assert packed & 0x3 == 0x1
+        assert (packed >> 2) & 0x3 == 0x2
+
+    def test_read_bits_unaligned_start(self, table):
+        table.set(10, Perm.RW)
+        packed = table.read_bits(9, 3)  # pages 9,10,11
+        assert (packed >> 2) & 0x3 == 0x3
+        assert packed & 0x3 == 0x0
+
+    def test_read_bits_zero_count(self, table):
+        assert table.read_bits(0, 0) == 0
+
+    def test_block_index_of(self, table):
+        assert table.block_index_of(0) == 0
+        assert table.block_index_of(511) == 0
+        assert table.block_index_of(512) == 1
+
+
+class TestAllocation:
+    def test_allocate_and_deallocate_roundtrip(self, phys, allocator):
+        used = allocator.used_frames
+        table = ProtectionTable.allocate(phys, allocator)
+        assert allocator.used_frames > used
+        table.deallocate(allocator)
+        assert allocator.used_frames == used
+
+    def test_allocate_covers_all_memory_by_default(self, phys, allocator):
+        table = ProtectionTable.allocate(phys, allocator)
+        assert table.covered_pages == phys.num_frames
+
+    def test_allocated_region_is_zeroed(self, phys, allocator):
+        # Dirty a frame first, then ensure the table reads as empty.
+        phys.write(PAGE_SIZE, b"\xff" * 64)
+        table = ProtectionTable.allocate(phys, allocator)
+        assert list(table.populated()) == []
+
+    def test_deallocate_twice_rejected(self, phys, allocator):
+        table = ProtectionTable.allocate(phys, allocator)
+        table.deallocate(allocator)
+        with pytest.raises(ConfigurationError):
+            table.deallocate(allocator)
+
+    def test_custom_coverage(self, phys, allocator):
+        table = ProtectionTable.allocate(phys, allocator, covered_pages=100)
+        assert table.covered_pages == 100
+        assert table.size_bytes == PAGE_SIZE  # rounded up to one frame

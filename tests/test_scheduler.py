@@ -1,0 +1,70 @@
+"""Unit tests for the round-robin scheduler and its downgrade events."""
+
+import pytest
+
+from repro.accel.base import AcceleratorBase
+from repro.osmodel.scheduler import RoundRobinScheduler
+
+
+class TestScheduler:
+    def test_rotation_counts_switches(self, kernel):
+        sched = RoundRobinScheduler(kernel, timeslice_seconds=0.001)
+        procs = [kernel.create_process(f"p{i}") for i in range(3)]
+        for proc in procs:
+            sched.add(proc)
+        kernel.engine.run_process(sched.run(duration_seconds=0.01))
+        assert sched.switches >= 8
+
+    def test_accelerator_processes_trigger_downgrades(self, kernel):
+        sched = RoundRobinScheduler(kernel, timeslice_seconds=0.001)
+        gpu_proc = kernel.create_process("gpu-user")
+        kernel.attach_accelerator(gpu_proc, AcceleratorBase("gpu0"))
+        cpu_proc = kernel.create_process("cpu-only")
+        sched.add(gpu_proc)
+        sched.add(cpu_proc)
+        kernel.engine.run_process(sched.run(duration_seconds=0.01))
+        assert sched.downgrades > 0
+        assert kernel.stats.get("downgrades") == sched.downgrades
+
+    def test_cpu_only_processes_do_not_downgrade(self, kernel):
+        sched = RoundRobinScheduler(kernel, timeslice_seconds=0.001)
+        for i in range(2):
+            sched.add(kernel.create_process(f"p{i}"))
+        kernel.engine.run_process(sched.run(duration_seconds=0.005))
+        assert sched.downgrades == 0
+
+    def test_dead_processes_are_dropped(self, kernel):
+        sched = RoundRobinScheduler(kernel, timeslice_seconds=0.001)
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        sched.add(a)
+        sched.add(b)
+        kernel.kill_process(a, "gone")
+        kernel.engine.run_process(sched.run(duration_seconds=0.003))
+        assert a not in sched.runnable
+
+    def test_on_switch_callback(self, kernel):
+        switches = []
+        sched = RoundRobinScheduler(
+            kernel, timeslice_seconds=0.001, on_switch=lambda p, n: switches.append((p.name, n.name))
+        )
+        sched.add(kernel.create_process("x"))
+        sched.add(kernel.create_process("y"))
+        kernel.engine.run_process(sched.run(duration_seconds=0.004))
+        assert switches
+
+    def test_empty_scheduler_terminates(self, kernel):
+        sched = RoundRobinScheduler(kernel, timeslice_seconds=0.001)
+        kernel.engine.run_process(sched.run(duration_seconds=0.01))
+        assert sched.switches == 0
+
+    def test_invalid_timeslice(self, kernel):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(kernel, timeslice_seconds=0)
+
+    def test_remove(self, kernel):
+        sched = RoundRobinScheduler(kernel, timeslice_seconds=0.001)
+        proc = kernel.create_process("p")
+        sched.add(proc)
+        sched.remove(proc)
+        assert proc not in sched.runnable

@@ -1,0 +1,205 @@
+"""Unit + property tests for the sparse Protection Table (§3.1.1 aside)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bcc import BCCConfig, BorderControlCache
+from repro.core.permissions import Perm
+from repro.core.protection_table import ProtectionTable
+from repro.core.sparse_table import PAGES_PER_CHUNK, SparseProtectionTable
+from repro.mem.address import PAGE_SIZE
+from repro.mem.phys_memory import PhysicalMemory
+from repro.vm.frame_allocator import FrameAllocator
+
+MEM = 128 * 1024 * 1024
+
+
+@pytest.fixture
+def sparse(phys, allocator):
+    return SparseProtectionTable(phys, allocator)
+
+
+class TestBasics:
+    def test_starts_empty_and_tiny(self, sparse, phys):
+        assert sparse.get(0) is Perm.NONE
+        assert sparse.get(phys.num_frames - 1) is Perm.NONE
+        # Only the directory frame is resident.
+        assert sparse.size_bytes == PAGE_SIZE
+
+    def test_grant_allocates_one_chunk(self, sparse):
+        sparse.grant(5, Perm.RW)
+        assert sparse.get(5) is Perm.RW
+        assert sparse.size_bytes == 2 * PAGE_SIZE  # directory + one chunk
+
+    def test_pages_in_same_chunk_share_allocation(self, sparse):
+        sparse.grant(0, Perm.R)
+        sparse.grant(PAGES_PER_CHUNK - 1, Perm.W)
+        assert sparse.size_bytes == 2 * PAGE_SIZE
+
+    def test_distant_pages_allocate_separate_chunks(self, sparse):
+        sparse.grant(0, Perm.R)
+        sparse.grant(PAGES_PER_CHUNK + 1, Perm.R)
+        assert sparse.size_bytes == 3 * PAGE_SIZE
+
+    def test_clearing_unallocated_chunk_allocates_nothing(self, sparse):
+        sparse.set(12345, Perm.NONE)
+        assert sparse.size_bytes == PAGE_SIZE
+
+    def test_zero_releases_chunks(self, sparse, allocator):
+        used = allocator.used_frames
+        sparse.grant(0, Perm.RW)
+        sparse.grant(PAGES_PER_CHUNK + 5, Perm.RW)
+        sparse.zero()
+        assert allocator.used_frames == used
+        assert sparse.get(0) is Perm.NONE
+
+    def test_populated(self, sparse):
+        sparse.grant(7, Perm.R)
+        sparse.grant(PAGES_PER_CHUNK + 3, Perm.RW)
+        assert dict(sparse.populated()) == {
+            7: Perm.R,
+            PAGES_PER_CHUNK + 3: Perm.RW,
+        }
+
+    def test_bounds(self, sparse, phys):
+        assert not sparse.covers(phys.num_frames)
+        with pytest.raises(Exception):
+            sparse.set(phys.num_frames, Perm.R)
+
+    def test_directory_lives_in_physical_memory(self, sparse, phys):
+        sparse.grant(0, Perm.R)
+        pointer = phys.read_u64(sparse.base_paddr)
+        assert pointer & 1  # present bit set in simulated DRAM
+
+    def test_deallocate(self, phys, allocator):
+        used = allocator.used_frames
+        table = SparseProtectionTable(phys, allocator)
+        table.grant(5, Perm.RW)
+        table.deallocate(allocator)
+        assert allocator.used_frames == used
+
+    def test_storage_wins_for_sparse_footprints(self):
+        """The §3.1.1 trade-off: sparse beats flat when footprint << memory."""
+        big = PhysicalMemory(1024 * 1024 * 1024)  # 1 GiB machine
+        allocator = FrameAllocator(big)
+        flat = ProtectionTable.allocate(big, allocator)
+        sparse = SparseProtectionTable(big, allocator)
+        for ppn in range(0, 256):  # 1 MB accelerator footprint
+            flat.grant(ppn, Perm.RW)
+            sparse.grant(ppn, Perm.RW)
+        assert flat.size_bytes == 64 * 1024
+        assert sparse.size_bytes == 2 * PAGE_SIZE  # directory + one chunk
+
+
+class TestInterfaceCompatibility:
+    def test_bcc_runs_on_sparse_table(self, phys, allocator):
+        sparse = SparseProtectionTable(phys, allocator)
+        bcc = BorderControlCache(BCCConfig(num_entries=4, pages_per_entry=32))
+        sparse.grant(10, Perm.RW)
+        hit, perms = bcc.lookup(10, sparse)
+        assert not hit and perms is Perm.RW
+        hit, perms = bcc.lookup(10, sparse)
+        assert hit and perms is Perm.RW
+
+    def test_read_bits_spans_chunks(self, phys, allocator):
+        sparse = SparseProtectionTable(phys, allocator)
+        last = PAGES_PER_CHUNK - 1
+        sparse.grant(last, Perm.R)
+        sparse.grant(last + 1, Perm.W)
+        packed = sparse.read_bits(last, 2)
+        assert Perm(packed & 0x3) is Perm.R
+        assert Perm((packed >> 2) & 0x3) is Perm.W
+
+
+perms_st = st.sampled_from([Perm.NONE, Perm.R, Perm.W, Perm.RW])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "grant", "revoke"]),
+            st.integers(min_value=0, max_value=MEM // PAGE_SIZE - 1),
+            perms_st,
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    window=st.tuples(
+        st.integers(min_value=0, max_value=MEM // PAGE_SIZE - 64),
+        st.integers(min_value=1, max_value=64),
+    ),
+)
+def test_sparse_equivalent_to_flat(ops, window):
+    """Flat and sparse tables agree after any operation sequence."""
+    phys_a = PhysicalMemory(MEM)
+    phys_b = PhysicalMemory(MEM)
+    flat = ProtectionTable.allocate(phys_a, FrameAllocator(phys_a))
+    sparse = SparseProtectionTable(phys_b, FrameAllocator(phys_b))
+    touched = set()
+    for op, ppn, perm in ops:
+        touched.add(ppn)
+        if op == "set":
+            flat.set(ppn, perm)
+            sparse.set(ppn, perm)
+        elif op == "grant":
+            assert flat.grant(ppn, perm) == sparse.grant(ppn, perm)
+        else:
+            flat.revoke(ppn)
+            sparse.revoke(ppn)
+    for ppn in touched:
+        assert flat.get(ppn) == sparse.get(ppn)
+    start, count = window
+    assert flat.read_bits(start, count) == sparse.read_bits(start, count)
+
+
+class TestSparseInBorderControl:
+    """The sparse layout as a drop-in Protection Table for the engine."""
+
+    def _bc(self, phys, allocator):
+        from repro.core.border_control import BorderControl
+
+        bc = BorderControl("gpu0", phys, allocator, table_kind="sparse")
+        bc.process_init(1)
+        return bc
+
+    def test_full_lifecycle_on_sparse_table(self, phys, allocator):
+        used_before = allocator.used_frames
+        bc = self._bc(phys, allocator)
+        bc.insert_translation(5, Perm.RW)
+        assert bc.check(5 << 12, True).allowed
+        assert not bc.check(6 << 12, False).allowed
+        bc.downgrade_all()
+        assert not bc.check(5 << 12, True).allowed
+        bc.insert_translation(5, Perm.R)
+        assert bc.check(5 << 12, False).allowed
+        bc.process_complete(1)
+        assert allocator.used_frames == used_before
+
+    def test_sparse_uses_less_memory_when_idle_footprint(self, phys, allocator):
+        from repro.core.border_control import BorderControl
+
+        flat = BorderControl("a", phys, allocator, table_kind="flat")
+        flat.process_init(1)
+        sparse = self._bc(phys, allocator)
+        flat.insert_translation(0, Perm.RW)
+        sparse.insert_translation(0, Perm.RW)
+        # On this small (128 MiB) machine the two tie at 8 KiB; the sparse
+        # win on large machines is covered by
+        # TestBasics.test_storage_wins_for_sparse_footprints.
+        assert sparse.table.size_bytes <= flat.table.size_bytes
+
+    def test_invalid_table_kind_rejected(self, phys, allocator):
+        from repro.core.border_control import BorderControl
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BorderControl("x", phys, allocator, table_kind="btree")
+
+    def test_sandbox_manager_table_kind(self, phys, allocator):
+        from repro.core.sandbox import SandboxManager
+        from repro.core.sparse_table import SparseProtectionTable
+
+        manager = SandboxManager(phys, allocator, table_kind="sparse")
+        sandbox = manager.attach("gpu0", 1)
+        assert isinstance(sandbox.table, SparseProtectionTable)

@@ -1,0 +1,132 @@
+"""Stateful model checking of the OS + Border Control stack (hypothesis).
+
+A :class:`RuleBasedStateMachine` drives a live kernel with an arbitrary
+interleaving of OS operations (mmap, munmap, mprotect, attach/detach,
+process exit), legitimate accelerator translations, and rogue physical
+probes — while an independent reference model predicts which physical
+pages the accelerator may currently touch. After every step the machine
+checks the global safety invariant:
+
+    an accelerator access is allowed **only if** some still-live
+    translation, inserted through the ATS and not yet revoked by a
+    downgrade, grants it.
+
+This is the closest thing to a proof the test suite offers: hypothesis
+shrinks any violating interleaving to a minimal counterexample.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.accel.base import AcceleratorBase
+from repro.core.permissions import Perm
+from repro.mem.address import PAGE_SHIFT, PAGE_SIZE
+from repro.mem.phys_memory import PhysicalMemory
+from repro.osmodel.kernel import Kernel, ViolationPolicy
+
+MEM = 64 * 1024 * 1024
+ACCEL_ID = "gpu0"
+
+
+class BorderControlMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.kernel = Kernel(
+            PhysicalMemory(MEM), violation_policy=ViolationPolicy.LOG_ONLY
+        )
+        self.accel = AcceleratorBase(ACCEL_ID)
+        self.proc = self.kernel.create_process("subject")
+        self.sandbox = self.kernel.attach_accelerator(self.proc, self.accel)
+        # Reference model: ppn -> Perm the accelerator may currently use.
+        self.granted = {}
+        # OS-side view: vaddr regions we created, as (vaddr, pages, perms).
+        self.areas = []
+
+    # ------------------------------------------------------------------
+    # OS operations
+    # ------------------------------------------------------------------
+
+    @rule(pages=st.integers(min_value=1, max_value=4), writable=st.booleans())
+    def os_mmap(self, pages, writable):
+        perms = Perm.RW if writable else Perm.R
+        vaddr = self.kernel.mmap(self.proc, pages, perms)
+        self.areas.append([vaddr, pages, perms])
+
+    @precondition(lambda self: self.areas)
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def os_munmap(self, index):
+        vaddr, pages, _perms = self.areas.pop(index % len(self.areas))
+        # Record the PPNs being revoked before the OS tears them down.
+        for i in range(pages):
+            t = self.proc.page_table.translate(vaddr + i * PAGE_SIZE)
+            if t is not None:
+                self.granted.pop(t.ppn, None)
+        self.kernel.munmap(self.proc, vaddr)
+        # munmap uses the full-downgrade path: the table was zeroed.
+        self.granted.clear()
+
+    @precondition(lambda self: self.areas)
+    @rule(index=st.integers(min_value=0, max_value=10**6), writable=st.booleans())
+    def os_mprotect(self, index, writable):
+        area = self.areas[index % len(self.areas)]
+        vaddr, pages, old_perms = area
+        new_perms = Perm.RW if writable else Perm.R
+        self.kernel.mprotect(self.proc, vaddr, pages, new_perms)
+        area[2] = new_perms
+        if old_perms.writable and not new_perms.writable:
+            # Downgrade: the kernel zeroed the whole Protection Table.
+            self.granted.clear()
+
+    # ------------------------------------------------------------------
+    # Legitimate accelerator activity (ATS translations)
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: self.areas)
+    @rule(index=st.integers(min_value=0, max_value=10**6),
+          page=st.integers(min_value=0, max_value=3))
+    def accel_translate(self, index, page):
+        vaddr, pages, perms = self.areas[index % len(self.areas)]
+        vaddr += (page % pages) * PAGE_SIZE
+        t = self.proc.page_table.translate(vaddr)
+        if t is None:
+            return
+        self.sandbox.insert_translation(t.ppn, t.perms)
+        self.granted[t.ppn] = self.granted.get(t.ppn, Perm.NONE) | t.perms
+
+    # ------------------------------------------------------------------
+    # Accelerator probes (legitimate or rogue) + the invariant
+    # ------------------------------------------------------------------
+
+    @rule(ppn=st.integers(min_value=0, max_value=MEM // PAGE_SIZE + 64),
+          write=st.booleans())
+    def accel_probe(self, ppn, write):
+        decision = self.sandbox.check(ppn << PAGE_SHIFT, write)
+        expected = Perm(self.granted.get(ppn, Perm.NONE)).allows(write)
+        assert decision.allowed == expected, (
+            f"ppn={ppn:#x} write={write}: engine={decision.allowed} "
+            f"model={expected}"
+        )
+
+    @invariant()
+    def protection_table_matches_model(self):
+        if not hasattr(self, "sandbox") or self.sandbox.table is None:
+            return
+        populated = dict(self.sandbox.table.populated())
+        for ppn, perms in self.granted.items():
+            assert populated.get(ppn, Perm.NONE) == perms
+        for ppn, perms in populated.items():
+            assert self.granted.get(ppn, Perm.NONE) == perms
+
+
+BorderControlMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestBorderControlModel = BorderControlMachine.TestCase

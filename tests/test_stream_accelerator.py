@@ -1,0 +1,154 @@
+"""Tests for the streaming accelerator and multi-accelerator systems."""
+
+import pytest
+
+from repro.accel.stream import StreamAccelerator, xor_transform
+from repro.core.border_port import BorderControlPort
+from repro.core.permissions import Perm
+from repro.mem.address import BLOCK_SIZE, PAGE_SIZE
+from repro.sim.config import SafetyMode
+
+from tests.util import make_system
+
+
+def build_engine(system, proc, accel_id="crypto0", sandboxed=True):
+    """Attach a StreamAccelerator with its own border port + sandbox."""
+    engine = StreamAccelerator(
+        system.engine, system.gpu_clock, system.ats, None, accel_id=accel_id
+    )
+    sandbox = system.kernel.attach_accelerator(proc, engine, sandboxed=sandboxed)
+    system.ats.register_address_space(proc.asid, proc.page_table)
+    system.ats.allow(accel_id, proc.asid)
+    if sandbox is not None:
+        system.ats.attach_border_control(accel_id, sandbox)
+        engine.border = BorderControlPort(
+            system.engine,
+            sandbox,
+            system.dram,
+            system.memctl,
+            bcc_latency_ticks=0,
+            pt_latency_ticks=0,
+        )
+    else:
+        engine.border = system.memctl
+    return engine, sandbox
+
+
+class TestTransform:
+    def test_end_to_end_data_path(self):
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        src = system.kernel.mmap(proc, 1, Perm.RW)
+        dst = system.kernel.mmap(proc, 1, Perm.RW)
+        plaintext = bytes(range(256)) * 16  # 4 KiB
+        system.kernel.proc_write(proc, src, plaintext)
+        engine, _sandbox = build_engine(system, proc)
+        done = engine.transform(proc.asid, src, dst, PAGE_SIZE)
+        assert done == PAGE_SIZE // BLOCK_SIZE
+        ciphertext = system.kernel.proc_read(proc, dst, PAGE_SIZE)
+        assert ciphertext == xor_transform(plaintext)
+        assert xor_transform(ciphertext) == plaintext  # involution
+
+    def test_read_only_source_is_enough(self):
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        src = system.kernel.mmap(proc, 1, Perm.R)
+        dst = system.kernel.mmap(proc, 1, Perm.RW)
+        engine, _sandbox = build_engine(system, proc)
+        assert engine.transform(proc.asid, src, dst, PAGE_SIZE) == 32
+
+    def test_read_only_destination_blocked(self):
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        src = system.kernel.mmap(proc, 1, Perm.RW)
+        dst = system.kernel.mmap(proc, 1, Perm.R)
+        engine, sandbox = build_engine(system, proc)
+        assert engine.transform(proc.asid, src, dst, PAGE_SIZE) == 0
+        assert engine.blocked_accesses == 32
+        assert all(v.write for v in sandbox.violations)
+
+    def test_foreign_buffer_unreachable(self):
+        system = make_system(SafetyMode.BC_BCC)
+        victim = system.new_process("victim")
+        secret = system.kernel.mmap(victim, 1, Perm.RW)
+        system.kernel.proc_write(victim, secret, b"secret-bytes")
+        proc = system.new_process("p")
+        dst = system.kernel.mmap(proc, 1, Perm.RW)
+        engine, _sandbox = build_engine(system, proc)
+        # The ATS refuses the victim's asid; nothing is processed.
+        assert engine.transform(victim.asid, secret, dst, PAGE_SIZE) == 0
+
+    def test_disabled_engine_refuses_work(self):
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        src = system.kernel.mmap(proc, 1, Perm.RW)
+        dst = system.kernel.mmap(proc, 1, Perm.RW)
+        engine, _sandbox = build_engine(system, proc)
+        engine.disable()
+        assert engine.transform(proc.asid, src, dst, PAGE_SIZE) == 0
+
+    def test_transform_takes_time(self):
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        src = system.kernel.mmap(proc, 1, Perm.RW)
+        dst = system.kernel.mmap(proc, 1, Perm.RW)
+        engine, _sandbox = build_engine(system, proc)
+        t0 = system.engine.now
+        engine.transform(proc.asid, src, dst, PAGE_SIZE)
+        assert system.engine.now > t0
+
+
+class TestMultiAccelerator:
+    def test_per_accelerator_protection_tables(self):
+        """§3.1.1: one Protection Table per active accelerator — the GPU's
+        grants do not leak to the crypto engine and vice versa."""
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        system.attach_process(proc)  # gpu0
+        buf = system.kernel.mmap(proc, 1, Perm.RW)
+        ppn = proc.page_table.translate(buf).ppn
+
+        engine, crypto_sandbox = build_engine(system, proc, accel_id="crypto0")
+        gpu_sandbox = system.border_control
+
+        # Only the GPU translates the buffer.
+        system.engine.run_process(system.ats.translate("gpu0", proc.asid, buf >> 12))
+        assert gpu_sandbox.check(ppn << 12, True).allowed
+        assert not crypto_sandbox.check(ppn << 12, True).allowed
+
+        # Now the crypto engine translates it too: both sandboxes allow.
+        system.engine.run_process(
+            system.ats.translate("crypto0", proc.asid, buf >> 12)
+        )
+        assert crypto_sandbox.check(ppn << 12, True).allowed
+
+    def test_concurrent_gpu_and_stream_engine(self):
+        """Both accelerators run at once, sharing DRAM and the kernel."""
+        from repro.workloads.base import generate_trace
+        from tests.util import tiny_spec
+
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        trace = generate_trace(
+            tiny_spec(), system.kernel, proc, system.config.threading
+        )
+        src = system.kernel.mmap(proc, 2, Perm.RW)
+        dst = system.kernel.mmap(proc, 2, Perm.RW)
+        engine, _sandbox = build_engine(system, proc, accel_id="crypto0")
+
+        gpu_done = system.gpu.launch(proc.asid, trace)
+        crypto_done = engine.launch(proc.asid, src, dst, 2 * PAGE_SIZE)
+        system.engine.run()
+        assert gpu_done.triggered and crypto_done.triggered
+        assert crypto_done.value == 64
+        assert system.kernel.violation_log == []
+
+    def test_detach_one_accelerator_keeps_other(self):
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        engine, crypto_sandbox = build_engine(system, proc, accel_id="crypto0")
+        system.kernel.detach_accelerator(proc, engine)
+        assert not crypto_sandbox.active
+        assert system.border_control.active  # the GPU sandbox survives

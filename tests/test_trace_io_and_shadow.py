@@ -1,0 +1,82 @@
+"""Tests for trace persistence and shadow page tables (§3.4.1)."""
+
+import pytest
+
+from repro.core.permissions import Perm
+from repro.mem.address import PAGE_SHIFT
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.vm.page_table import PageTable
+from repro.workloads.base import generate_trace
+from repro.workloads.io import load_trace, save_trace
+
+from tests.util import make_system, tiny_spec
+
+
+class TestTraceIO:
+    def _trace(self):
+        system = make_system()
+        proc = system.new_process("t")
+        return system, generate_trace(
+            tiny_spec(), system.kernel, proc, GPUThreading.MODERATELY, seed=9
+        )
+
+    def test_roundtrip(self, tmp_path):
+        _system, trace = self._trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.footprint_pages == trace.footprint_pages
+        assert loaded.cu_wavefronts == trace.cu_wavefronts
+
+    def test_loaded_trace_runs(self, tmp_path):
+        system, trace = self._trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        proc = list(system.kernel.processes.values())[0]
+        system.attach_process(proc)
+        ticks = system.run_kernel(proc, loaded)
+        assert ticks > 0
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "name": "x", "cu_wavefronts": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestShadowPageTable:
+    def test_shadow_table_restricts_accelerator_view(self):
+        """§3.4.1: when the OS itself runs an accelerator kernel, it can
+        register a *shadow* page table with the ATS so the accelerator
+        sees only a restricted slice of the address space — no Border
+        Control hardware changes needed."""
+        system = make_system(SafetyMode.BC_BCC)
+        proc = system.new_process("os-thread")
+        system.attach_process(proc)
+        public_vaddr = system.kernel.mmap(proc, 1, Perm.RW)
+        private_vaddr = system.kernel.mmap(proc, 1, Perm.RW)
+
+        # Build a shadow table exposing only the public page, read-only.
+        shadow = PageTable(system.phys, system.kernel.allocator, asid=proc.asid)
+        public = proc.page_table.translate(public_vaddr)
+        shadow.map(public.vpn, public.ppn, Perm.R)
+        system.ats.register_address_space(proc.asid, shadow)
+
+        # Accelerator translates through the shadow.
+        result = system.engine.run_process(
+            system.ats.translate("gpu0", proc.asid, public_vaddr >> PAGE_SHIFT)
+        )
+        assert result is not None and result.perms == Perm.R
+
+        hidden = system.engine.run_process(
+            system.ats.translate("gpu0", proc.asid, private_vaddr >> PAGE_SHIFT)
+        )
+        assert hidden is None  # invisible through the shadow
+
+        bc = system.border_control
+        private_ppn = proc.page_table.translate(private_vaddr).ppn
+        assert bc.check(public.ppn << PAGE_SHIFT, False).allowed
+        assert not bc.check(public.ppn << PAGE_SHIFT, True).allowed  # R only
+        assert not bc.check(private_ppn << PAGE_SHIFT, False).allowed

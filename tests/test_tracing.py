@@ -1,0 +1,78 @@
+"""Tests for the event-tracing module."""
+
+import json
+
+from repro.accel.faulty import MaliciousEngine
+from repro.core.permissions import Perm
+from repro.mem.address import PAGE_SHIFT
+from repro.sim.config import SafetyMode
+from repro.sim.tracing import EventTrace
+
+from tests.util import make_system, tiny_spec
+
+
+def violate(system):
+    victim = system.new_process("victim")
+    vaddr = system.kernel.mmap(victim, 1, Perm.RW)
+    ppn = victim.page_table.translate(vaddr).ppn
+    attacker = system.new_process("attacker")
+    system.attach_process(attacker)
+    trojan = MaliciousEngine(system.engine, system.border_port)
+    trojan.read_phys(ppn << PAGE_SHIFT)
+    return ppn
+
+
+class TestEventTrace:
+    def test_violations_recorded_with_timestamps(self):
+        system = make_system(SafetyMode.BC_BCC)
+        trace = EventTrace.attach(system)
+        ppn = violate(system)
+        events = trace.of_kind("violation")
+        assert len(events) == 1
+        assert events[0].fields["paddr"] == hex(ppn << PAGE_SHIFT)
+        assert events[0].fields["write"] is False
+        assert events[0].time_ticks >= 0
+
+    def test_crossing_tracing_opt_in(self):
+        from repro.workloads.base import generate_trace
+
+        system = make_system(SafetyMode.BC_BCC)
+        trace = EventTrace.attach(system, crossings=True)
+        proc = system.new_process("p")
+        system.attach_process(proc)
+        ktrace = generate_trace(
+            tiny_spec(ops_per_wavefront=10), system.kernel, proc,
+            system.config.threading,
+        )
+        system.run_kernel(proc, ktrace)
+        assert trace.counts().get("crossing", 0) > 0
+
+    def test_max_events_bound(self):
+        system = make_system(SafetyMode.BC_BCC)
+        trace = EventTrace(system.engine, max_events=2)
+        for i in range(5):
+            trace.record("x", i=i)
+        assert len(trace.events) == 2
+        assert trace.dropped == 3
+        assert "dropped" in trace.render()
+
+    def test_queries_and_render(self):
+        system = make_system(SafetyMode.BC_BCC)
+        trace = EventTrace(system.engine)
+        trace.record("a", v=1)
+        trace.record("b", v=2)
+        assert [e.kind for e in trace.of_kind("a")] == ["a"]
+        assert trace.counts() == {"a": 1, "b": 1}
+        assert trace.between(0, 1)  # both at t=0
+        assert "v=1" in trace.render(limit=1)
+
+    def test_jsonl_output(self, tmp_path):
+        system = make_system(SafetyMode.BC_BCC)
+        trace = EventTrace.attach(system)
+        violate(system)
+        path = tmp_path / "events.jsonl"
+        count = trace.to_jsonl(path)
+        assert count == 1
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["kind"] == "violation"
+        assert "paddr" in record

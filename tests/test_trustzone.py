@@ -1,0 +1,87 @@
+"""Tests for the TrustZone-style TZASC model (Table 1's fourth row)."""
+
+import pytest
+
+from repro.mem.dram import DRAM, DRAMConfig
+from repro.mem.phys_memory import PhysicalMemory
+from repro.mem.port import MemoryController
+from repro.mem.trustzone import TrustZoneController
+from repro.sim.stats import StatDomain
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def setup(engine):
+    phys = PhysicalMemory(64 * MB)
+    dram = DRAM(engine, DRAMConfig(), StatDomain("dram"))
+    memctl = MemoryController(phys, dram)
+    return phys, memctl
+
+
+class TestTZASC:
+    def test_normal_world_reads_normal_memory(self, engine, setup):
+        phys, memctl = setup
+        phys.write(0x10000, b"normal-data")
+        tz = TrustZoneController(memctl, requester_secure=False)
+        data = engine.run_process(tz.access(0x10000, 16, False))
+        assert data[:11] == b"normal-data"
+
+    def test_normal_world_blocked_from_secure_region(self, engine, setup):
+        phys, memctl = setup
+        phys.write(0x20000, b"tee-secret")
+        tz = TrustZoneController(memctl, requester_secure=False)
+        tz.mark_secure(0x20000, 4096)
+        assert engine.run_process(tz.access(0x20000, 16, False)) is None
+        assert engine.run_process(
+            tz.access(0x20000, 16, True, b"x" * 16)
+        ) is None
+        assert phys.read(0x20000, 10) == b"tee-secret"
+
+    def test_secure_world_passes(self, engine, setup):
+        phys, memctl = setup
+        phys.write(0x20000, b"tee-secret")
+        tz = TrustZoneController(memctl, requester_secure=True)
+        tz.mark_secure(0x20000, 4096)
+        assert engine.run_process(tz.access(0x20000, 10, False)) == b"tee-secret"
+
+    def test_region_overlap_detection(self, engine, setup):
+        _phys, memctl = setup
+        tz = TrustZoneController(memctl)
+        tz.mark_secure(0x1000, 0x1000)
+        assert tz.is_secure_address(0x1FFF)
+        assert not tz.is_secure_address(0x2000)
+        # A straddling access touches the region.
+        assert tz.is_secure_address(0x0FFF, size=2)
+
+    def test_no_protection_between_normal_processes(self, engine, setup):
+        """The paper's §2.3 criticism: coarse-grained only."""
+        phys, memctl = setup
+        phys.write(0x30000, b"other-process-data")
+        tz = TrustZoneController(memctl, requester_secure=False)
+        tz.mark_secure(0x50000, 4096)  # some unrelated secure region
+        leaked = engine.run_process(tz.access(0x30000, 18, False))
+        assert leaked == b"other-process-data"
+
+    def test_clear_secure(self, engine, setup):
+        _phys, memctl = setup
+        tz = TrustZoneController(memctl)
+        tz.mark_secure(0x1000, 4096)
+        tz.clear_secure()
+        assert not tz.is_secure_address(0x1000)
+
+    def test_invalid_region(self, engine, setup):
+        _phys, memctl = setup
+        tz = TrustZoneController(memctl)
+        with pytest.raises(ValueError):
+            tz.mark_secure(0, 0)
+
+    def test_stats(self, engine, setup):
+        _phys, memctl = setup
+        stats = StatDomain("tz")
+        tz = TrustZoneController(memctl, stats=stats)
+        tz.mark_secure(0x1000, 4096)
+        engine.run_process(tz.access(0x1000, 8, False))
+        engine.run_process(tz.access(0x9000, 8, False))
+        assert stats.get("checked") == 2
+        assert stats.get("blocked") == 1

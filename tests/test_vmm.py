@@ -1,0 +1,114 @@
+"""Tests for virtualization support (paper §3.4.2)."""
+
+import pytest
+
+from repro.accel.base import AcceleratorBase
+from repro.accel.faulty import MaliciousEngine
+from repro.core.border_port import BorderControlPort
+from repro.core.permissions import Perm
+from repro.errors import ConfigurationError, MemoryError_
+from repro.vm.frame_allocator import OutOfFramesError
+from repro.mem.address import BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE
+from repro.mem.dram import DRAM, DRAMConfig
+from repro.mem.phys_memory import PhysicalMemory
+from repro.mem.port import MemoryController
+from repro.osmodel.vmm import VMM
+from repro.sim.stats import StatDomain
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def vmm():
+    return VMM(PhysicalMemory(256 * MB))
+
+
+class TestPartitioning:
+    def test_guests_get_disjoint_partitions(self, vmm):
+        a = vmm.create_guest("a", 32 * MB)
+        b = vmm.create_guest("b", 32 * MB)
+        assert a.end_paddr <= b.base_paddr or b.end_paddr <= a.base_paddr
+
+    def test_duplicate_guest_rejected(self, vmm):
+        vmm.create_guest("a", 16 * MB)
+        with pytest.raises(ConfigurationError):
+            vmm.create_guest("a", 16 * MB)
+
+    def test_bad_size_rejected(self, vmm):
+        with pytest.raises(MemoryError_):
+            vmm.create_guest("a", 12345)
+
+    def test_guest_cannot_exceed_partition(self, vmm):
+        guest = vmm.create_guest("a", 4 * MB)
+        proc = guest.kernel.create_process("p")
+        with pytest.raises(OutOfFramesError):
+            guest.kernel.mmap(proc, 2048)  # 8 MB > 4 MB partition
+
+    def test_guest_mappings_confined(self, vmm):
+        guest = vmm.create_guest("a", 16 * MB)
+        proc = guest.kernel.create_process("p")
+        guest.kernel.mmap(proc, 64, Perm.RW)
+        assert vmm.audit_guest_mappings("a") == []
+
+    def test_destroy_guest_reclaims_partition(self, vmm):
+        free_before = vmm.host_allocator.free_frames
+        guest = vmm.create_guest("a", 16 * MB)
+        proc = guest.kernel.create_process("p")
+        guest.kernel.mmap(proc, 16)
+        vmm.destroy_guest("a")
+        assert vmm.host_allocator.free_frames == free_before
+
+    def test_destroy_unknown_guest(self, vmm):
+        with pytest.raises(ConfigurationError):
+            vmm.destroy_guest("ghost")
+
+
+class TestProtectionTablesUnderVMM:
+    def test_tables_allocated_outside_guest_partitions(self, vmm):
+        guest = vmm.create_guest("a", 16 * MB)
+        proc = guest.kernel.create_process("p")
+        guest.kernel.attach_accelerator(proc, AcceleratorBase("gpu0"))
+        assert vmm.protection_table_frames()  # a table exists
+        assert vmm.audit_tables_outside_guests()
+
+    def test_bare_metal_indexing_unchanged(self, vmm):
+        """§3.4.2: checks index by host physical address, no changes."""
+        guest = vmm.create_guest("a", 16 * MB)
+        proc = guest.kernel.create_process("p")
+        sandbox = guest.kernel.attach_accelerator(proc, AcceleratorBase("gpu0"))
+        vaddr = guest.kernel.mmap(proc, 1, Perm.RW)
+        host_ppn = proc.page_table.translate(vaddr).ppn
+        assert guest.contains_frame(host_ppn)  # guest frames are host frames
+        sandbox.insert_translation(host_ppn, Perm.RW)
+        assert sandbox.check(host_ppn << PAGE_SHIFT, True).allowed
+
+    def test_accelerator_cannot_touch_its_own_protection_table(self, vmm):
+        """The table is VMM-private: no guest mapping can ever cover it,
+        so a rogue accelerator cannot forge its own permissions."""
+        guest = vmm.create_guest("a", 16 * MB)
+        proc = guest.kernel.create_process("p")
+        sandbox = guest.kernel.attach_accelerator(proc, AcceleratorBase("gpu0"))
+        table_paddr = sandbox.table.base_paddr
+        decision = sandbox.check(table_paddr, write=True)
+        assert not decision.allowed
+
+    def test_cross_guest_isolation_with_trojan(self, vmm):
+        """A trojan behind guest A's border cannot read guest B's memory."""
+        a = vmm.create_guest("a", 16 * MB)
+        b = vmm.create_guest("b", 16 * MB)
+        victim = b.kernel.create_process("victim")
+        secret_vaddr = b.kernel.mmap(victim, 1, Perm.RW)
+        b.kernel.proc_write(victim, secret_vaddr, b"GUEST-B-SECRET")
+        secret_ppn = victim.page_table.translate(secret_vaddr).ppn
+
+        attacker = a.kernel.create_process("attacker")
+        sandbox = a.kernel.attach_accelerator(attacker, AcceleratorBase("gpu0"))
+        engine = vmm.engine
+        dram = DRAM(engine, DRAMConfig(), StatDomain("dram"))
+        port = BorderControlPort(
+            engine, sandbox, dram, MemoryController(vmm.phys, dram),
+            bcc_latency_ticks=0, pt_latency_ticks=0,
+        )
+        trojan = MaliciousEngine(engine, port)
+        assert trojan.read_phys(secret_ppn << PAGE_SHIFT) is None
+        assert b.kernel.proc_read(victim, secret_vaddr, 14) == b"GUEST-B-SECRET"

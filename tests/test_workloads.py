@@ -1,0 +1,145 @@
+"""Unit tests for workload specs and trace generation."""
+
+import pytest
+
+from repro.mem.address import BLOCK_SIZE, PAGE_SIZE
+from repro.sim.config import GPUThreading
+from repro.workloads.base import WorkloadSpec, generate_trace
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+from tests.util import make_system, tiny_spec
+
+
+class TestRegistry:
+    def test_seven_workloads_in_paper_order(self):
+        assert workload_names() == [
+            "backprop",
+            "bfs",
+            "hotspot",
+            "lud",
+            "nn",
+            "nw",
+            "pathfinder",
+        ]
+
+    def test_get_workload(self):
+        assert get_workload("bfs").name == "bfs"
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_all_specs_have_valid_mixtures(self):
+        for spec in WORKLOADS.values():
+            assert 0 <= spec.l1_reuse + spec.l2_reuse <= 1
+            assert spec.cold_fraction >= 0
+            assert spec.footprint_bytes > 0
+            assert 0 <= spec.write_fraction <= 1
+
+    def test_irregular_vs_regular_flavors(self):
+        assert get_workload("bfs").pattern == "graph"
+        assert get_workload("lud").pattern == "blocked"
+        assert get_workload("hotspot").pattern == "stencil"
+        assert get_workload("nw").pattern == "diagonal"
+
+
+class TestSpec:
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            tiny_spec(l1_reuse=0.8, l2_reuse=0.5)
+
+    def test_footprint_math(self):
+        spec = tiny_spec(footprint_bytes=PAGE_SIZE * 10 + 1)
+        assert spec.footprint_pages == 11
+        assert spec.footprint_blocks == (PAGE_SIZE * 10 + 1) // BLOCK_SIZE
+
+
+class TestTraceGeneration:
+    def _gen(self, spec=None, seed=1, threading=GPUThreading.MODERATELY):
+        system = make_system(threading=threading)
+        proc = system.new_process("t")
+        trace = generate_trace(
+            spec or tiny_spec(), system.kernel, proc, threading, seed=seed
+        )
+        return system, proc, trace
+
+    def test_deterministic_given_seed(self):
+        _s1, _p1, t1 = self._gen(seed=42)
+        _s2, _p2, t2 = self._gen(seed=42)
+        assert t1.cu_wavefronts == t2.cu_wavefronts
+
+    def test_different_seeds_differ(self):
+        _s1, _p1, t1 = self._gen(seed=1)
+        _s2, _p2, t2 = self._gen(seed=2)
+        assert t1.cu_wavefronts != t2.cu_wavefronts
+
+    def test_addresses_stay_within_mapped_footprint(self):
+        spec = tiny_spec()
+        system, proc, trace = self._gen(spec)
+        area = next(iter(proc.areas.values()))
+        lo = area.start_vaddr
+        hi = lo + area.length
+        for cu in trace.cu_wavefronts:
+            for wf in cu:
+                for _gap, vaddr, _w in wf:
+                    if vaddr is not None:
+                        assert lo <= vaddr < hi
+
+    def test_addresses_are_block_aligned(self):
+        _s, _p, trace = self._gen()
+        for cu in trace.cu_wavefronts:
+            for wf in cu:
+                for _gap, vaddr, _w in wf:
+                    assert vaddr % BLOCK_SIZE == 0
+
+    def test_write_fraction_roughly_respected(self):
+        _s, _p, trace = self._gen(tiny_spec(write_fraction=0.5, ops_per_wavefront=200))
+        ops = [op for cu in trace.cu_wavefronts for wf in cu for op in wf]
+        writes = sum(1 for _g, _v, w in ops if w)
+        assert 0.4 < writes / len(ops) < 0.6
+
+    def test_ops_scale(self):
+        system = make_system()
+        proc = system.new_process("t")
+        trace = generate_trace(
+            tiny_spec(ops_per_wavefront=100),
+            system.kernel,
+            proc,
+            GPUThreading.MODERATELY,
+            ops_scale=0.25,
+        )
+        per_wf = len(trace.cu_wavefronts[0][0])
+        assert per_wf == 25
+
+    @pytest.mark.parametrize(
+        "pattern", ["stream", "random", "graph", "blocked", "stencil", "diagonal", "rows"]
+    )
+    def test_every_pattern_generates(self, pattern):
+        _s, _p, trace = self._gen(tiny_spec(pattern=pattern))
+        assert trace.total_mem_ops > 0
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            self._gen(tiny_spec(pattern="mystery"))
+
+    def test_cpu_touch_populates_pages(self):
+        system, proc, trace = self._gen()
+        # Eager mmap allocated frames; the CPU header write is visible.
+        area = next(iter(proc.areas.values()))
+        data = system.kernel.proc_read(proc, area.start_vaddr, 8)
+        assert data == (0).to_bytes(8, "little")
+
+    def test_locality_knob_changes_reuse(self):
+        """Higher l1_reuse must produce measurably more address reuse."""
+
+        def distinct_fraction(spec):
+            _s, _p, trace = self._gen(spec)
+            addrs = [
+                v
+                for cu in trace.cu_wavefronts
+                for wf in cu
+                for _g, v, _w in wf
+            ]
+            return len(set(addrs)) / len(addrs)
+
+        local = distinct_fraction(tiny_spec(l1_reuse=0.9, l2_reuse=0.0))
+        cold = distinct_fraction(tiny_spec(l1_reuse=0.0, l2_reuse=0.0))
+        assert local < cold

@@ -1,0 +1,44 @@
+"""Shared helpers for tests (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.sim.config import GPUThreading, SafetyMode, SystemConfig
+from repro.sim.system import System
+from repro.workloads.base import WorkloadSpec
+
+MEM_128M = 128 * 1024 * 1024
+
+
+def small_config(
+    safety: SafetyMode = SafetyMode.BC_BCC,
+    threading: GPUThreading = GPUThreading.MODERATELY,
+) -> SystemConfig:
+    """A fast-to-build system: 128 MiB of memory, default timing."""
+    return SystemConfig(
+        safety=safety, threading=threading, phys_mem_bytes=MEM_128M
+    )
+
+
+def make_system(
+    safety: SafetyMode = SafetyMode.BC_BCC,
+    threading: GPUThreading = GPUThreading.MODERATELY,
+) -> System:
+    return System(small_config(safety, threading))
+
+
+def tiny_spec(**overrides) -> WorkloadSpec:
+    """A minimal workload for integration tests (fast to simulate)."""
+    params = dict(
+        name="tiny",
+        description="test workload",
+        footprint_bytes=1024 * 1024,
+        ops_per_wavefront=40,
+        write_fraction=0.3,
+        compute_gap_mean=2.0,
+        pattern="stream",
+        l1_reuse=0.5,
+        l2_reuse=0.2,
+        l2_region_bytes=8 * 1024,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)

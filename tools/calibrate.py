@@ -1,0 +1,83 @@
+"""Calibration helper (not shipped as part of the library API).
+
+Runs every workload through every safety configuration and prints the
+Fig. 4 / Fig. 5 numbers next to the paper's targets, so the workload
+specs and timing parameters can be tuned.
+"""
+
+import sys
+import time
+
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.runner import geometric_mean, run_single, runtime_overhead
+from repro.workloads.registry import workload_names
+
+PAPER_FULL_IOMMU_HIGH = {
+    "backprop": 1.43, "bfs": 9.83, "hotspot": 1.60, "lud": 8.98,
+    "nn": 1.76, "nw": 8.14, "pathfinder": 2.15,
+}
+PAPER_REQS_PER_CYCLE = {
+    "backprop": 0.025, "bfs": 0.29, "hotspot": 0.06, "lud": 0.10,
+    "nn": 0.08, "nw": 0.15, "pathfinder": 0.06,
+}
+PAPER_GEOMEAN = {
+    GPUThreading.HIGHLY: {
+        SafetyMode.FULL_IOMMU: 3.74, SafetyMode.CAPI_LIKE: 0.0381,
+        SafetyMode.BC_NO_BCC: 0.0204, SafetyMode.BC_BCC: 0.0015,
+    },
+    GPUThreading.MODERATELY: {
+        SafetyMode.FULL_IOMMU: 0.85, SafetyMode.CAPI_LIKE: 0.165,
+        SafetyMode.BC_NO_BCC: 0.0726, SafetyMode.BC_BCC: 0.0084,
+    },
+}
+
+MODES = [
+    SafetyMode.FULL_IOMMU,
+    SafetyMode.CAPI_LIKE,
+    SafetyMode.BC_NO_BCC,
+    SafetyMode.BC_BCC,
+]
+
+
+def main() -> None:
+    names = sys.argv[1:] or workload_names()
+    for threading in (GPUThreading.HIGHLY, GPUThreading.MODERATELY):
+        print(f"\n=== {threading.label} ===")
+        overheads = {mode: [] for mode in MODES}
+        for name in names:
+            t0 = time.time()
+            base = run_single(name, SafetyMode.ATS_ONLY, threading)
+            row = [
+                f"{name:<10s} base={base.gpu_cycles:>9.0f}cyc",
+                f"l1={base.l1_hit_ratio:.2f}",
+                f"l2={base.l2_hit_ratio:.2f}",
+                f"util={base.dram_utilization:.2f}",
+            ]
+            bc_run = None
+            for mode in MODES:
+                res = run_single(name, mode, threading)
+                ovh = runtime_overhead(res, base)
+                overheads[mode].append(ovh)
+                row.append(f"{mode.value.split('-')[0][:4]}={ovh*100:7.1f}%")
+                if mode is SafetyMode.BC_BCC:
+                    bc_run = res
+            rpc = bc_run.checks_per_cycle if bc_run else 0.0
+            row.append(f"req/cyc={rpc:.3f}")
+            if threading is GPUThreading.HIGHLY:
+                row.append(
+                    f"[paper full={PAPER_FULL_IOMMU_HIGH[name]*100:.0f}% "
+                    f"rpc={PAPER_REQS_PER_CYCLE[name]:.3f}]"
+                )
+            row.append(f"{time.time()-t0:.1f}s")
+            print("  ".join(row))
+        print("geomeans:")
+        for mode in MODES:
+            gm = geometric_mean(overheads[mode])
+            target = PAPER_GEOMEAN[threading][mode]
+            print(
+                f"  {mode.label:<22s} {gm*100:8.2f}%   (paper {target*100:.2f}%)"
+            )
+
+
+if __name__ == "__main__":
+    main()
