@@ -39,17 +39,30 @@ from repro.core import (
 )
 from repro.errors import (
     AcceleratorDisabledError,
+    AcceleratorHangError,
     BorderControlViolation,
+    BorderTimeoutError,
     ConfigurationError,
     PageFault,
     ProtectionFault,
     ReproError,
     UnmappedAddressError,
 )
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultyPort,
+    HangingAccelerator,
+)
 from repro.sim.config import GPUThreading, SafetyMode, SystemConfig, TimingParams
 from repro.sim.runner import (
+    ChaosReport,
+    ChaosRunResult,
     RunResult,
     geometric_mean,
+    run_chaos_campaign,
+    run_chaos_single,
     run_single,
     runtime_overhead,
 )
@@ -61,13 +74,22 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorDisabledError",
+    "AcceleratorHangError",
     "AccessDecision",
     "BCCConfig",
     "BorderControl",
     "BorderControlCache",
     "BorderControlViolation",
+    "BorderTimeoutError",
+    "ChaosReport",
+    "ChaosRunResult",
     "ConfigurationError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyPort",
     "GPUThreading",
+    "HangingAccelerator",
     "Kernel",
     "PageFault",
     "Perm",
@@ -88,6 +110,8 @@ __all__ = [
     "WorkloadSpec",
     "generate_trace",
     "geometric_mean",
+    "run_chaos_campaign",
+    "run_chaos_single",
     "run_single",
     "runtime_overhead",
     "__version__",

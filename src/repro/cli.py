@@ -6,6 +6,8 @@ Subcommands:
 * ``run`` — simulate one (workload, configuration) pair and print stats.
 * ``tables`` — print Tables 1-3 only (no simulation).
 * ``fig4|fig5|fig6|fig7`` — regenerate a single figure.
+* ``chaos`` — run a fault-injection campaign; exits nonzero on any
+  confidentiality/integrity/termination invariant violation.
 * ``workloads`` — list the available workload specs.
 """
 
@@ -66,6 +68,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             p.add_argument(
                 "--gpu", choices=["highly", "moderately", "both"], default="both"
             )
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection campaign with invariant report"
+    )
+    _add_common(p_chaos)
+    p_chaos.add_argument(
+        "--fault-types",
+        nargs="*",
+        default=None,
+        metavar="KIND",
+        help="subset of fault kinds (drop hang bit-flip dup-writeback "
+        "delay ats-fault); default injects all but delay",
+    )
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the invariant report as JSON")
 
     sub.add_parser("workloads", help="list workload specs")
 
@@ -154,6 +171,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             ).render()
         )
         return 0
+
+    if args.command == "chaos":
+        from repro.faults import FaultKind
+        from repro.sim.runner import run_chaos_campaign
+
+        kinds = None
+        if args.fault_types:
+            try:
+                kinds = [FaultKind(name) for name in args.fault_types]
+            except ValueError as exc:
+                parser.error(str(exc))
+        report = run_chaos_campaign(
+            workloads=args.workloads,
+            kinds=kinds,
+            seed=args.seed,
+            ops_scale=ops_scale,
+            quick=args.quick,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
 
     if args.command == "export":
         from repro.analysis.export import export_all

@@ -14,17 +14,29 @@ Reads proceed *in parallel* with the permission lookup (§3.1.1: the flat
 table guarantees single-access lookups that "can proceed in parallel with
 read requests"); data is simply not returned if the check fails. Writes
 must pass the check before they are forwarded.
+
+Resilience: when ``request_timeout_ticks`` is set, every downstream
+access races an :meth:`~repro.sim.engine.Engine.deadline`; a request the
+memory path never answers (a fault-injected hang, a wedged channel) is
+abandoned and retried up to ``max_retries`` times with exponential
+backoff, so a single lost response costs bounded time instead of wedging
+the accelerator. With ``strict_timeouts`` the exhausted budget raises
+:class:`~repro.errors.BorderTimeoutError`; otherwise the access fails
+(``None``) and is counted. With the default ``request_timeout_ticks=0``
+the port is timing-transparent — byte-identical to the pre-resilience
+behavior — so the paper's calibration is untouched.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from repro.core.border_control import BorderControl
-from repro.mem.address import BLOCK_SIZE
+from repro.errors import BorderTimeoutError
+from repro.mem.address import BLOCK_SIZE, PAGE_SHIFT
 from repro.mem.dram import DRAM
 from repro.mem.port import MemoryPort
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, TIMEOUT
 from repro.sim.stats import StatDomain
 
 __all__ = ["BorderControlPort"]
@@ -45,6 +57,10 @@ class BorderControlPort(MemoryPort):
         pt_latency_ticks: int,
         pt_fetch_bytes: int = BLOCK_SIZE,
         stats: Optional[StatDomain] = None,
+        request_timeout_ticks: int = 0,
+        max_retries: int = 3,
+        retry_backoff_ticks: int = 0,
+        strict_timeouts: bool = False,
     ) -> None:
         self._engine = engine
         self.bc = bc
@@ -56,9 +72,20 @@ class BorderControlPort(MemoryPort):
         # the 64-bit word holding the page's 2-bit field; with a BCC a full
         # 128 B table block is fetched into the cache (§3.1.2).
         self.pt_fetch_bytes = pt_fetch_bytes
+        # Watchdog parameters; 0 timeout disables the race entirely.
+        self.request_timeout_ticks = request_timeout_ticks
+        self.max_retries = max_retries
+        self.retry_backoff_ticks = retry_backoff_ticks
+        self.strict_timeouts = strict_timeouts
+        # Optional chaos hook: extra Protection-Table-fetch latency (a
+        # faulty PT path can only slow the check down, never skip it).
+        self.pt_fault_hook: Optional[Callable[[], int]] = None
         stats = stats or StatDomain("border_port")
         self._checked = stats.counter("checked")
         self._blocked = stats.counter("blocked")
+        self._timeouts = stats.counter("timeouts")
+        self._retries = stats.counter("retries")
+        self._abandoned = stats.counter("abandoned")
         # Optional trace of (ppn, is_write) crossings, used by the Fig. 6
         # BCC sensitivity sweep to replay real border streams offline.
         self.ppn_recorder: Optional[list] = None
@@ -69,14 +96,44 @@ class BorderControlPort(MemoryPort):
         if bcc_hit:
             return self.bcc_latency_ticks
         dram_delay = self.dram.access(self.pt_fetch_bytes, write=False)
-        return self.bcc_latency_ticks + max(self.pt_latency_ticks, dram_delay)
+        delay = self.bcc_latency_ticks + max(self.pt_latency_ticks, dram_delay)
+        if self.pt_fault_hook is not None:
+            delay += max(0, int(self.pt_fault_hook()))
+        return delay
+
+    def _downstream_access(
+        self, addr: int, size: int, write: bool, data: Optional[bytes]
+    ) -> Generator:
+        """Forward one access downstream, policing it with the watchdog."""
+        if not self.request_timeout_ticks:
+            return (yield from self.downstream.access(addr, size, write, data))
+        attempt = 0
+        while True:
+            proc = self._engine.process(
+                self.downstream.access(addr, size, write, data),
+                name="border-downstream",
+            )
+            result = yield self._engine.deadline(proc, self.request_timeout_ticks)
+            if result is not TIMEOUT:
+                return result
+            self._timeouts.inc()
+            if attempt >= self.max_retries:
+                self._abandoned.inc()
+                if self.strict_timeouts:
+                    raise BorderTimeoutError(addr, write, attempt + 1)
+                return None
+            attempt += 1
+            self._retries.inc()
+            backoff = self.retry_backoff_ticks * (1 << (attempt - 1))
+            if backoff:
+                yield backoff
 
     def access(
         self, addr: int, size: int, write: bool, data: Optional[bytes] = None
     ) -> Generator:
         self._checked.inc()
         if self.ppn_recorder is not None:
-            self.ppn_recorder.append((addr >> 12, write))
+            self.ppn_recorder.append((addr >> PAGE_SHIFT, write))
         decision = self.bc.check(addr, write)
         delay = self._check_delay(decision.bcc_hit)
         if write:
@@ -86,7 +143,7 @@ class BorderControlPort(MemoryPort):
             if not decision.allowed:
                 self._blocked.inc()
                 return None
-            return (yield from self.downstream.access(addr, size, True, data))
+            return (yield from self._downstream_access(addr, size, True, data))
         if not decision.allowed:
             # No data crosses the border; the memory read never issues.
             if delay:
@@ -96,7 +153,7 @@ class BorderControlPort(MemoryPort):
         # Read: the lookup overlaps the memory access; the slower of the
         # two determines when data may cross back into the accelerator.
         start = self._engine.now
-        result = yield from self.downstream.access(addr, size, False)
+        result = yield from self._downstream_access(addr, size, False, None)
         elapsed = self._engine.now - start
         if delay > elapsed:
             yield delay - elapsed

@@ -16,7 +16,9 @@ __all__ = [
     "PageFault",
     "ProtectionFault",
     "AcceleratorDisabledError",
+    "AcceleratorHangError",
     "BorderControlViolation",
+    "BorderTimeoutError",
 ]
 
 
@@ -58,6 +60,42 @@ class ProtectionFault(MemoryError_):
 
 class AcceleratorDisabledError(ReproError):
     """Work was submitted to an accelerator the OS has disabled."""
+
+
+class BorderTimeoutError(ReproError):
+    """A border-crossing request exhausted its timeout/retry budget.
+
+    Raised only when the :class:`~repro.core.border_port.BorderControlPort`
+    runs with ``strict_timeouts``; otherwise the request is counted and
+    reported as failed (``None``) so the simulation can keep making
+    forward progress under fault injection.
+    """
+
+    def __init__(self, addr: int, write: bool, attempts: int) -> None:
+        kind = "write" if write else "read"
+        super().__init__(
+            f"border {kind} of {addr:#x} timed out after {attempts} attempt(s)"
+        )
+        self.addr = addr
+        self.write = write
+        self.attempts = attempts
+
+
+class AcceleratorHangError(ReproError):
+    """An accelerator hang survived every watchdog recovery attempt.
+
+    The chaos harness raises this when quarantining the accelerator and
+    releasing injected memory-path hangs both failed to let the kernel
+    terminate — i.e. the resilience layer itself is broken.
+    """
+
+    def __init__(self, accel_id: str, watchdog_fires: int) -> None:
+        super().__init__(
+            f"accelerator {accel_id!r} still hung after "
+            f"{watchdog_fires} watchdog fire(s)"
+        )
+        self.accel_id = accel_id
+        self.watchdog_fires = watchdog_fires
 
 
 class BorderControlViolation(ReproError):

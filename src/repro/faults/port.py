@@ -1,0 +1,123 @@
+"""A fault-injecting :class:`~repro.mem.port.MemoryPort` interposer.
+
+``FaultyPort`` wraps any point in a port chain — between the accelerator
+L2 and the border, between the border and the memory controller, or
+around a Protection Table fetch path — and perturbs the accesses flowing
+through it according to a :class:`~repro.faults.plan.FaultPlan`:
+
+* **DROP** — the response is lost; the upstream component sees ``None``
+  (exactly what a border block looks like, so nothing upstream needs a
+  new failure mode).
+* **HANG** — the access parks on an event that nobody ever triggers.
+  The simulation does *not* deadlock — a parked process holds no queue
+  entries — but whoever waits on the access is stuck until a watchdog
+  calls :meth:`FaultyPort.release_hangs`.
+* **DELAY** — the response is stalled ``spec.param`` extra ticks.
+* **BIT_FLIP** — one deterministic-random bit of returned read data is
+  inverted (corruption *inside* the sandbox; never a permission escape,
+  because blocked reads return no data to flip).
+* **DUP_WRITEBACK** — the write is committed downstream twice, modeling
+  a replayed writeback; each copy is border-checked independently.
+
+The interposer never sees, and therefore can never leak, data the layer
+below it refused to return — faults compose with the Border Control
+safety argument instead of weakening it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.faults.plan import FaultKind, FaultPlan, SiteInjector
+from repro.mem.port import MemoryPort
+from repro.sim.engine import Engine, Event
+from repro.sim.stats import StatDomain
+
+__all__ = ["FaultyPort"]
+
+
+class FaultyPort(MemoryPort):
+    """Wraps ``downstream`` and injects faults drawn from a plan site."""
+
+    name = "faulty"
+
+    def __init__(
+        self,
+        engine: Engine,
+        downstream: MemoryPort,
+        plan: FaultPlan,
+        site: str,
+        stats: Optional[StatDomain] = None,
+    ) -> None:
+        self._engine = engine
+        self.downstream = downstream
+        self.site = site
+        self.injector: SiteInjector = plan.for_site(site)
+        stats = stats or StatDomain(f"faulty_{site}")
+        self._injected = stats.counter("injected")
+        self._by_kind = {
+            kind: stats.counter(f"injected_{kind.value.replace('-', '_')}")
+            for kind in FaultKind
+        }
+        self._released = stats.counter("released_hangs")
+        self._pending_hangs: List[Event] = []
+
+    @property
+    def pending_hangs(self) -> int:
+        return len(self._pending_hangs)
+
+    def release_hangs(self) -> int:
+        """Watchdog path: fail every in-flight hung access (as ``None``).
+
+        Returns how many accesses were released; they complete as dropped
+        responses, which upstream already knows how to absorb.
+        """
+        hung, self._pending_hangs = self._pending_hangs, []
+        for event in hung:
+            event.succeed(None)
+        self._released.inc(len(hung))
+        return len(hung)
+
+    def access(
+        self, addr: int, size: int, write: bool, data: Optional[bytes] = None
+    ) -> Generator:
+        spec = self.injector.draw(write)
+        if spec is None:
+            return (yield from self.downstream.access(addr, size, write, data))
+        self._injected.inc()
+        self._by_kind[spec.kind].inc()
+
+        if spec.kind is FaultKind.DROP:
+            # The request (and any response) vanishes in the interconnect.
+            return None
+
+        if spec.kind is FaultKind.HANG:
+            park = self._engine.event()
+            self._pending_hangs.append(park)
+            released = yield park
+            return released  # None once a watchdog released the hang
+
+        if spec.kind is FaultKind.DELAY:
+            if spec.param:
+                yield spec.param
+            return (yield from self.downstream.access(addr, size, write, data))
+
+        if spec.kind is FaultKind.DUP_WRITEBACK:
+            first = yield from self.downstream.access(addr, size, True, data)
+            # The replayed copy is an independent request: checked (and
+            # possibly blocked) at the border on its own.
+            yield from self.downstream.access(addr, size, True, data)
+            return first
+
+        if spec.kind is FaultKind.BIT_FLIP:
+            result = yield from self.downstream.access(addr, size, False)
+            if not result:  # blocked or empty: no data exists to corrupt
+                return result
+            bit = self.injector.rand_below(len(result) * 8)
+            flipped = bytearray(result)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            return bytes(flipped)
+
+        # ATS_FAULT and future kinds don't apply to a memory port; pass
+        # the access through untouched rather than guessing a behavior.
+        return (yield from self.downstream.access(addr, size, write, data))

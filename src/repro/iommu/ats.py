@@ -21,7 +21,7 @@ radix level actually touched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Set, Tuple
+from typing import Callable, Dict, Generator, Optional, Set, Tuple
 
 from repro.core.border_control import BorderControl
 from repro.core.permissions import Perm
@@ -43,6 +43,11 @@ class ATSConfig:
     request_latency_ticks: int = 0  # accel -> IOMMU round trip, set by builder
     l2_tlb_latency_ticks: int = 0
     walk_step_bytes: int = 8  # one PTE fetched per radix level
+    # Resilience: how often a transiently faulted translation request is
+    # replayed (exponential backoff) before the ATS reports failure. Only
+    # exercised when a fault injector is installed — see ``ATS.fault_injector``.
+    max_retries: int = 0
+    retry_backoff_ticks: int = 0
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,12 @@ class ATS:
         self._rejected = self.stats.counter("rejected_asids")
         self._failed = self.stats.counter("failed_walks")
         self._coalesced = self.stats.counter("coalesced_walks")
+        self._injected_faults = self.stats.counter("injected_faults")
+        self._retries = self.stats.counter("retries")
+        # Chaos hook: when set, called once per translation attempt and
+        # returning True makes that attempt fault transiently (a flaky
+        # IOMMU link / lost completion). Retried per ``config.max_retries``.
+        self.fault_injector: Optional[Callable[[], bool]] = None
         # In-flight page walks, keyed by (asid, vpn): concurrent requests
         # for the same translation ride the first walk instead of issuing
         # duplicates (page-walk coalescing, as hardware walkers do).
@@ -127,7 +138,28 @@ class ATS:
 
         Returns a :class:`TranslationResult` or ``None`` when the VPN is
         unmapped or the accelerator is not entitled to the address space.
+        An injected transient fault (see ``fault_injector``) is replayed
+        up to ``config.max_retries`` times with exponential backoff
+        before it surfaces as a failed (``None``) translation.
         """
+        attempt = 0
+        while self.fault_injector is not None and self.fault_injector():
+            self._injected_faults.inc()
+            if attempt >= self.config.max_retries:
+                self._failed.inc()
+                return None
+            attempt += 1
+            self._retries.inc()
+            if timed:
+                backoff = self.config.retry_backoff_ticks * (1 << (attempt - 1))
+                if backoff:
+                    yield backoff
+        return (yield from self._translate_once(accel_id, asid, vpn, timed))
+
+    def _translate_once(
+        self, accel_id: str, asid: int, vpn: int, timed: bool
+    ) -> Generator:
+        """One translation attempt (the pre-resilience service path)."""
         self._translations.inc()
         if timed and self.config.request_latency_ticks:
             yield self.config.request_latency_ticks

@@ -10,6 +10,11 @@ naturally.
 ``access`` returns the block's bytes for reads, ``b""`` for completed
 writes, and ``None`` when the access was *blocked* at a trusted/untrusted
 border (the data is withheld and the write is dropped — paper §3.2.3).
+
+The fault-injection layer reuses the same ``None`` convention for *lost*
+accesses: a :class:`~repro.faults.port.FaultyPort` interposer that drops
+or hangs a response makes it surface as ``None``, so upstream components
+need no failure modes beyond the one the border already taught them.
 """
 
 from __future__ import annotations
@@ -19,8 +24,10 @@ from typing import Generator, Optional
 from repro.mem.phys_memory import PhysicalMemory
 from repro.mem.dram import DRAM
 
-__all__ = ["MemoryPort", "MemoryController"]
+__all__ = ["AccessResult", "MemoryPort", "MemoryController"]
 
+#: What one serviced access yields back: bytes (read), ``b""`` (completed
+#: write), or ``None`` (blocked at a border, or lost to an injected fault).
 AccessResult = Optional[bytes]
 
 

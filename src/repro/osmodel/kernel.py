@@ -43,6 +43,12 @@ class ViolationPolicy(enum.Enum):
     LOG_ONLY = "log"
     KILL_PROCESS = "kill-process"
     DISABLE_ACCELERATOR = "disable-accelerator"
+    # Resilience middle ground between LOG_ONLY and the permanent
+    # sanctions: disable the faulting accelerator, downgrade its
+    # sandboxes (revoking every permission, so in-flight and replayed
+    # requests all get blocked), and re-enable it after a backoff window
+    # that doubles per repeat offense.
+    QUARANTINE = "quarantine"
 
 
 class Kernel:
@@ -87,7 +93,14 @@ class Kernel:
         # Quiesce time charged to accelerators on every downgrade; the
         # system builder sets this from TimingParams.downgrade_drain_cycles.
         self.downgrade_drain_ticks: int = 0
+        # Quarantine backoff: how long a faulting accelerator stays
+        # disabled (doubles per repeat offense). 0 keeps it disabled until
+        # someone re-enables it by hand — the conservative default.
+        self.quarantine_backoff_ticks: int = 0
+        self._quarantine_until: Dict[str, int] = {}
+        self._quarantine_strikes: Dict[str, int] = {}
         self._downgrade_count = self.stats.counter("downgrades")
+        self._quarantine_count = self.stats.counter("quarantines")
         self._shootdown_count = self.stats.counter("shootdowns")
         self._fault_count = self.stats.counter("page_faults")
         self._cow_copies = self.stats.counter("cow_copies")
@@ -475,12 +488,75 @@ class Kernel:
             if accel is not None and hasattr(accel, "disable"):
                 accel.disable()
             return
+        if self.violation_policy is ViolationPolicy.QUARANTINE:
+            self.quarantine_accelerator(record.accel_id, record.describe())
+            return
         # KILL_PROCESS: every process running on the offending accelerator
         # is terminated (the OS cannot attribute the rogue request more
         # precisely than the accelerator it came from).
         for proc in list(self.processes.values()):
             if record.accel_id in proc.accelerators and proc.alive:
                 self.kill_process(proc, record.describe())
+
+    # ------------------------------------------------------------------
+    # quarantine: survivable sanctions for faulting accelerators
+    # ------------------------------------------------------------------
+
+    def quarantine_accelerator(self, accel_id: str, reason: str = "") -> bool:
+        """Disable a faulting accelerator and revoke its sandbox.
+
+        Downgrading the sandbox (rather than tearing it down) means every
+        request the wedged or misbehaving device still has in flight — or
+        replays after a hardware reset — hits a zeroed Protection Table
+        and is blocked at the border; the accelerator rejoins the system
+        after the backoff window with an empty sandbox it must repopulate
+        through legitimate ATS translations.
+
+        Returns ``False`` when the accelerator is unknown or already
+        quarantined (a violation storm must not stack sanctions).
+        """
+        accel = self._accels.get(accel_id)
+        if accel is None or self.is_quarantined(accel_id):
+            return False
+        self._quarantine_count.inc()
+        strikes = self._quarantine_strikes.get(accel_id, 0) + 1
+        self._quarantine_strikes[accel_id] = strikes
+        if hasattr(accel, "disable"):
+            accel.disable()
+        # Drain/downgrade: no flush request — a wedged device cannot be
+        # trusted to answer one, and §3.2.4 says ignoring it is safe
+        # (later writebacks are checked and blocked).
+        for _aid, sandbox in self.sandboxes.active_sandboxes():
+            if _aid == accel_id:
+                sandbox.downgrade_all()
+        window = self.quarantine_backoff_ticks * (1 << (strikes - 1))
+        if window > 0:
+            until = self.engine.now + window
+            self._quarantine_until[accel_id] = until
+            self.engine.schedule(window, lambda: self._release_quarantine(accel_id))
+        else:
+            # No backoff configured: quarantined until manually released.
+            self._quarantine_until[accel_id] = -1
+        return True
+
+    def is_quarantined(self, accel_id: str) -> bool:
+        until = self._quarantine_until.get(accel_id)
+        if until is None:
+            return False
+        return until < 0 or self.engine.now < until
+
+    def _release_quarantine(self, accel_id: str) -> None:
+        until = self._quarantine_until.get(accel_id)
+        if until is None or until < 0 or self.engine.now < until:
+            return  # superseded by a newer, longer quarantine
+        self.release_quarantine(accel_id)
+
+    def release_quarantine(self, accel_id: str) -> None:
+        """End a quarantine: the accelerator may accept work again."""
+        self._quarantine_until.pop(accel_id, None)
+        accel = self._accels.get(accel_id)
+        if accel is not None:
+            accel.enabled = True
 
     # ------------------------------------------------------------------
     # process-memory helpers (trusted kernel access, bypassing TLBs)

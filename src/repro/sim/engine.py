@@ -20,11 +20,41 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
-__all__ = ["Engine", "Event", "Process", "BandwidthServer", "Resource", "SimulationError"]
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "BandwidthServer",
+    "Resource",
+    "SimulationError",
+    "TIMEOUT",
+    "Watchdog",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. negative delays, double triggers)."""
+
+
+class _Timeout:
+    """Singleton sentinel returned by :meth:`Engine.deadline` on expiry."""
+
+    _instance: Optional["_Timeout"] = None
+
+    def __new__(cls) -> "_Timeout":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "TIMEOUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Value a :meth:`Engine.deadline` event carries when the clock wins.
+TIMEOUT = _Timeout()
 
 
 class Event:
@@ -157,6 +187,59 @@ class Engine:
             self.process(waiter(i, evt), name=f"all_of[{i}]")
         return done
 
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that triggers when the *first* given event triggers.
+
+        The winner's value becomes the combined event's value; later
+        triggers are ignored (one-shot semantics are preserved).
+        """
+        events = list(events)
+        done = Event(self)
+
+        def waiter(evt: Event) -> Generator:
+            value = yield evt
+            if not done.triggered:
+                done.succeed(value)
+
+        if not events:
+            done.succeed(None)
+            return done
+        for i, evt in enumerate(events):
+            self.process(waiter(evt), name=f"any_of[{i}]")
+        return done
+
+    def deadline(self, event: Event, timeout_ticks: int) -> Event:
+        """Race ``event`` against the clock (timeout-with-cancel).
+
+        Returns an event that triggers with ``event``'s value if it fires
+        within ``timeout_ticks``, or with the :data:`TIMEOUT` sentinel
+        otherwise. The inner event is *not* cancelled — a process hung on
+        it stays parked (harmless), while the caller regains control.
+        """
+        if timeout_ticks < 0:
+            raise SimulationError(f"negative deadline {timeout_ticks}")
+        done = Event(self)
+
+        def waiter() -> Generator:
+            value = yield event
+            if not done.triggered:
+                done.succeed(value)
+
+        def timer() -> Generator:
+            yield timeout_ticks
+            if not done.triggered:
+                done.succeed(TIMEOUT)
+
+        self.process(waiter(), name="deadline-wait")
+        self.process(timer(), name="deadline-timer")
+        return done
+
+    def watchdog(
+        self, timeout_ticks: int, on_fire: Optional[Callable[[], None]] = None
+    ) -> "Watchdog":
+        """Arm a watchdog: ``on_fire`` runs unless fed/disarmed in time."""
+        return Watchdog(self, timeout_ticks, on_fire)
+
     # -- execution -------------------------------------------------------
 
     def run(self, until: Optional[int] = None) -> int:
@@ -195,6 +278,62 @@ class Engine:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+
+class Watchdog:
+    """A feedable timeout: fires ``on_fire`` unless fed or disarmed.
+
+    Each :meth:`feed` pushes the fire time ``timeout_ticks`` past *now*;
+    :meth:`disarm` cancels it for good. Stale scheduled callbacks are
+    invalidated by a generation counter, so feeding is O(1) and never
+    leaks queue entries beyond the last armed deadline.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        timeout_ticks: int,
+        on_fire: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if timeout_ticks <= 0:
+            raise SimulationError(f"watchdog timeout must be positive, got {timeout_ticks}")
+        self._engine = engine
+        self.timeout_ticks = int(timeout_ticks)
+        self._on_fire = on_fire
+        self._generation = 0
+        self._armed = True
+        self.fired = False
+        self.fires = 0
+        self._schedule()
+
+    def _schedule(self) -> None:
+        generation = self._generation
+
+        def maybe_fire() -> None:
+            if not self._armed or generation != self._generation:
+                return  # fed or disarmed since this callback was queued
+            self.fired = True
+            self.fires += 1
+            if self._on_fire is not None:
+                self._on_fire()
+
+        self._engine.schedule(self.timeout_ticks, maybe_fire)
+
+    def feed(self) -> None:
+        """Reset the countdown (the watched activity showed progress)."""
+        if not self._armed:
+            return
+        self._generation += 1
+        self._schedule()
+
+    def disarm(self) -> None:
+        """Cancel the watchdog permanently (the watched work completed)."""
+        self._armed = False
+        self._generation += 1
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
 
 
 class BandwidthServer:

@@ -4,20 +4,51 @@ This is the harness layer the benchmarks and experiments drive. A
 :class:`RunResult` carries everything the paper's figures need: elapsed
 GPU cycles (runtime), border-crossing counts (Fig. 5), BCC hit ratios
 (Fig. 6's full-system counterpart), DRAM traffic, and violation counts.
+
+It also hosts the *chaos* harness (:func:`run_chaos_single`,
+:func:`run_chaos_campaign`): seeded fault-injection runs that splice
+:class:`~repro.faults.port.FaultyPort` interposers into the hierarchy,
+wedge the accelerator mid-kernel, and then assert that the sandbox's
+confidentiality/integrity invariants survived and every hang was cleared
+by a watchdog or quarantine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.accel.gpu import KernelTrace
+from repro.accel.gpu import GPUGeometry, KernelTrace
+from repro.core.permissions import Perm
+from repro.errors import AcceleratorHangError
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultyPort,
+    HangingAccelerator,
+    derive_seed,
+)
+from repro.mem.address import BLOCK_SIZE, PAGE_SIZE
+from repro.osmodel.kernel import ViolationPolicy
 from repro.sim.config import GPUThreading, SafetyMode, SystemConfig
-from repro.sim.system import System
+from repro.sim.engine import TIMEOUT
+from repro.sim.system import GPU_ID, System
 from repro.workloads.base import WorkloadSpec, generate_trace
 from repro.workloads.registry import get_workload
 
-__all__ = ["RunResult", "run_single", "runtime_overhead", "geometric_mean"]
+__all__ = [
+    "RunResult",
+    "ChaosRunResult",
+    "ChaosReport",
+    "run_single",
+    "run_chaos_single",
+    "run_chaos_campaign",
+    "runtime_overhead",
+    "geometric_mean",
+    "DEFAULT_CHAOS_WORKLOADS",
+    "DEFAULT_CHAOS_KINDS",
+]
 
 
 @dataclass
@@ -47,6 +78,14 @@ class RunResult:
     violations: int
     downgrades: int = 0
     border_trace: Optional[list] = None  # [(ppn, is_write)] when recorded
+    # Resilience bookkeeping (all zero outside chaos runs): faults the
+    # chaos layer injected, timeout/ATS retries spent absorbing them, how
+    # often the supervising watchdog had to intervene, and how often the
+    # OS quarantined the accelerator.
+    faults_injected: int = 0
+    retries: int = 0
+    watchdog_fires: int = 0
+    quarantines: int = 0
 
     @property
     def checks_per_cycle(self) -> float:
@@ -176,6 +215,9 @@ def collect_result(
         l2_misses=stats.get(f"{l2_domain}.misses"),
         l2_writebacks=stats.get(f"{l2_domain}.writebacks"),
         violations=len(system.kernel.violation_log),
+        faults_injected=stats.total("injected") + stats.get("ats.injected_faults"),
+        retries=stats.total("retries"),
+        quarantines=stats.get("kernel.quarantines"),
     )
 
 
@@ -198,3 +240,475 @@ def geometric_mean(values: List[float]) -> float:
     for v in values:
         product *= 1.0 + v
     return product ** (1.0 / len(values)) - 1.0
+
+
+# ---------------------------------------------------------------------------
+# chaos campaigns: fault injection + resilience invariants
+# ---------------------------------------------------------------------------
+
+#: Workloads a campaign sweeps by default (small, behaviorally distinct).
+DEFAULT_CHAOS_WORKLOADS: Tuple[str, ...] = ("backprop", "bfs", "hotspot")
+
+#: Fault kinds a campaign injects by default.
+DEFAULT_CHAOS_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.DROP,
+    FaultKind.HANG,
+    FaultKind.BIT_FLIP,
+    FaultKind.DUP_WRITEBACK,
+    FaultKind.ATS_FAULT,
+)
+
+#: The 4 KB pattern planted in the victim page; any change is an
+#: integrity escape.
+_SECRET = bytes(range(256)) * (PAGE_SIZE // 256)
+
+
+def default_fault_specs(
+    kinds: Sequence[FaultKind], pt_delay_ticks: int = 0
+) -> List[FaultSpec]:
+    """The campaign's standard injection rules for the given kinds.
+
+    Sites: ``l2.border`` is the accel-L2 → border hop (data faults live
+    here, where corruption is *inside* the sandbox), ``border.mem`` the
+    border → DRAM hop (lost/hung responses the port's timeout covers),
+    ``border.pt`` the Protection Table fetch path, ``ats`` the
+    translation service.
+    """
+    specs: List[FaultSpec] = []
+    for kind in kinds:
+        if kind is FaultKind.DROP:
+            specs.append(FaultSpec(kind, "border.mem", 0.01))
+        elif kind is FaultKind.HANG:
+            # Below the border: recovered by the port's deadline+retry.
+            specs.append(FaultSpec(kind, "border.mem", 0.003, max_count=3))
+            # Above the border: recovered by the supervising watchdog.
+            specs.append(FaultSpec(kind, "l2.border", 0.002, max_count=3))
+        elif kind is FaultKind.BIT_FLIP:
+            specs.append(FaultSpec(kind, "l2.border", 0.02))
+        elif kind is FaultKind.DUP_WRITEBACK:
+            specs.append(FaultSpec(kind, "l2.border", 0.05))
+        elif kind is FaultKind.DELAY:
+            specs.append(FaultSpec(kind, "border.pt", 0.01, param=pt_delay_ticks))
+        elif kind is FaultKind.ATS_FAULT:
+            specs.append(FaultSpec(kind, "ats", 0.08))
+    return specs
+
+
+@dataclass
+class ChaosRunResult:
+    """One chaos run: the usual measurements plus the invariant verdicts."""
+
+    workload: str
+    kinds: Tuple[str, ...]
+    seed: int
+    result: RunResult
+    plan_signature: Tuple[Tuple[str, int, str], ...]
+    fault_counts: Dict[str, int]
+    trace_ops: int
+    probes: int
+    conf_escapes: int
+    integ_escapes: int
+    secret_intact: bool
+    completed: bool
+    hangs_released: int
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the trace's memory ops the device actually issued."""
+        return self.result.mem_ops / self.trace_ops if self.trace_ops else 0.0
+
+    def invariant_failures(self) -> List[str]:
+        """Empty iff the sandbox held. Each entry names a broken invariant."""
+        failures: List[str] = []
+        if self.conf_escapes:
+            failures.append(
+                f"confidentiality: {self.conf_escapes} probe read(s) returned data"
+            )
+        if self.integ_escapes:
+            failures.append(
+                f"integrity: {self.integ_escapes} probe write(s) were committed"
+            )
+        if not self.secret_intact:
+            failures.append("integrity: victim page bytes changed")
+        if not self.completed:
+            failures.append("termination: kernel did not complete")
+        if self.result.mem_ops == 0:
+            failures.append("progress: accelerator issued no memory operations")
+        return failures
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_failures()
+
+    def signature(self) -> Tuple:
+        """Everything that must replay identically for the same seed."""
+        return (
+            self.workload,
+            self.kinds,
+            self.seed,
+            self.plan_signature,
+            self.result.ticks,
+            self.result.mem_ops,
+            self.result.blocked_ops,
+            self.result.faults_injected,
+            self.result.retries,
+            self.result.watchdog_fires,
+            self.result.quarantines,
+            self.probes,
+            self.conf_escapes,
+            self.integ_escapes,
+            self.secret_intact,
+            self.completed,
+            self.hangs_released,
+        )
+
+
+@dataclass
+class ChaosReport:
+    """A campaign's invariant report across every (workload, faults) run."""
+
+    seed: int
+    runs: List[ChaosRunResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    def invariant_failures(self) -> List[str]:
+        out: List[str] = []
+        for run in self.runs:
+            for failure in run.invariant_failures():
+                out.append(f"{run.workload} [{'+'.join(run.kinds)}]: {failure}")
+        return out
+
+    def signature(self) -> Tuple:
+        return tuple(run.signature() for run in self.runs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "failures": self.invariant_failures(),
+            "runs": [
+                {
+                    "workload": run.workload,
+                    "kinds": list(run.kinds),
+                    "seed": run.seed,
+                    "ok": run.ok,
+                    "faults_injected": run.result.faults_injected,
+                    "fault_counts": run.fault_counts,
+                    "retries": run.result.retries,
+                    "watchdog_fires": run.result.watchdog_fires,
+                    "quarantines": run.result.quarantines,
+                    "hangs_released": run.hangs_released,
+                    "probes": run.probes,
+                    "conf_escapes": run.conf_escapes,
+                    "integ_escapes": run.integ_escapes,
+                    "secret_intact": run.secret_intact,
+                    "completed": run.completed,
+                    "progress": run.progress,
+                    "ticks": run.result.ticks,
+                }
+                for run in self.runs
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable invariant report."""
+        lines = [
+            f"chaos campaign (seed {self.seed}): "
+            f"{len(self.runs)} runs, {'PASS' if self.ok else 'FAIL'}",
+            f"{'workload':<12} {'faults':<32} {'inj':>5} {'retry':>5} "
+            f"{'wdog':>4} {'quar':>4} {'esc':>3} {'prog':>6}  status",
+        ]
+        for run in self.runs:
+            escapes = run.conf_escapes + run.integ_escapes
+            if not run.secret_intact:
+                escapes += 1
+            lines.append(
+                f"{run.workload:<12} {'+'.join(run.kinds):<32} "
+                f"{run.result.faults_injected:>5} {run.result.retries:>5} "
+                f"{run.result.watchdog_fires:>4} {run.result.quarantines:>4} "
+                f"{escapes:>3} {run.progress:>6.0%}  "
+                f"{'ok' if run.ok else 'FAIL'}"
+            )
+        total_faults = sum(run.result.faults_injected for run in self.runs)
+        total_probes = sum(run.probes for run in self.runs)
+        lines.append(
+            f"invariants: {total_faults} faults injected, "
+            f"{total_probes} rogue probes, "
+            f"{sum(r.conf_escapes for r in self.runs)} confidentiality escapes, "
+            f"{sum(r.integ_escapes for r in self.runs)} integrity escapes"
+        )
+        for failure in self.invariant_failures():
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+
+def run_chaos_single(
+    workload: str,
+    kinds: Sequence[FaultKind],
+    seed: int = 1234,
+    safety: SafetyMode = SafetyMode.BC_BCC,
+    threading: GPUThreading = GPUThreading.MODERATELY,
+    ops_scale: float = 1.0,
+    config: Optional[SystemConfig] = None,
+    workload_spec: Optional[WorkloadSpec] = None,
+    plan: Optional[FaultPlan] = None,
+    hang_accelerator: Optional[bool] = None,
+    watchdog_cycles: float = 50_000.0,
+    request_timeout_cycles: float = 10_000.0,
+    quarantine_backoff_cycles: float = 25_000.0,
+    probe_interval_cycles: float = 4_000.0,
+    max_stalled_fires: int = 8,
+) -> ChaosRunResult:
+    """One seeded fault-injection run with live invariant probing.
+
+    Alongside the faulted workload, a *victim* process (never granted to
+    the accelerator) holds a secret page, and a rogue prober fires
+    read/write requests at it through the border port while faults are
+    landing. Any probe read returning data is a confidentiality escape;
+    any committed probe write (or changed victim bytes) an integrity
+    escape. A supervisor process watches for lost forward progress and
+    recovers hangs — first by failing hung accesses out of the faulty
+    ports, then by quarantining the accelerator.
+    """
+    if not safety.uses_border_control:
+        raise ValueError("chaos runs require a Border Control configuration")
+    workload_spec = workload_spec or get_workload(workload)
+    cfg = (config or SystemConfig()).with_safety(safety).with_threading(threading)
+    system = System(cfg, violation_policy=ViolationPolicy.QUARANTINE)
+    engine = system.engine
+    kernel = system.kernel
+    ticks_of = system.gpu_clock.cycles_to_ticks
+    kernel.quarantine_backoff_ticks = ticks_of(quarantine_backoff_cycles)
+
+    kinds = tuple(kinds)
+    if plan is None:
+        plan = FaultPlan(seed, default_fault_specs(kinds, ticks_of(200.0)))
+
+    # Splice the interposers: accel L2 -> [l2.border] -> border port ->
+    # [border.mem] -> memory controller; plus the PT-fetch and ATS hooks.
+    fault_stats = system.stats.child("faults")
+    border = system.border_port
+    assert border is not None and system.gpu_l2 is not None
+    port_below = FaultyPort(
+        engine, system.memctl, plan, "border.mem", fault_stats.child("border_mem")
+    )
+    port_above = FaultyPort(
+        engine, border, plan, "l2.border", fault_stats.child("l2_border")
+    )
+    border.downstream = port_below
+    system.gpu_l2.downstream = port_above
+    faulty_ports = [port_above, port_below]
+    border.request_timeout_ticks = ticks_of(request_timeout_cycles)
+    border.retry_backoff_ticks = ticks_of(1_000.0)
+
+    pt_injector = plan.for_site("border.pt")
+
+    def pt_fault() -> int:
+        spec = pt_injector.draw()
+        return spec.param if spec is not None else 0
+
+    border.pt_fault_hook = pt_fault
+
+    ats_injector = plan.for_site("ats")
+    system.ats.fault_injector = lambda: ats_injector.draw() is not None
+    system.ats.config = replace(
+        system.ats.config, max_retries=3, retry_backoff_ticks=ticks_of(100.0)
+    )
+
+    if hang_accelerator is None:
+        hang_accelerator = FaultKind.HANG in kinds
+    if hang_accelerator:
+        system.gpu = HangingAccelerator(
+            engine,
+            system.gpu_clock,
+            GPUGeometry(
+                num_cus=cfg.num_cus, l1_tlb_entries=cfg.gpu_l1_tlb_entries
+            ),
+            system.gpu.path,
+            stats=system.stats.child("gpu"),
+            accel_id=GPU_ID,
+        )
+
+    # The victim: a process that never touches the accelerator. Its
+    # secret page must stay unreadable and unwritable from the border.
+    victim = system.new_process("victim")
+    secret_vaddr = kernel.mmap(victim, 1, Perm.RW)
+    kernel.proc_write(victim, secret_vaddr, _SECRET)
+    translation = victim.page_table.translate(secret_vaddr)
+    assert translation is not None
+    secret_paddr = translation.ppn * PAGE_SIZE
+
+    proc = system.new_process(workload_spec.name)
+    system.attach_process(proc)
+    trace = generate_trace(
+        workload_spec, kernel, proc, threading, seed=seed, ops_scale=ops_scale
+    )
+    if hang_accelerator:
+        # Wedge roughly a third of the way into the kernel.
+        system.gpu._ops_until_hang = max(8, trace.total_mem_ops // 3)
+
+    start = engine.now
+    done = system.gpu.launch(proc.asid, trace)
+    end_time = [start]
+
+    def watcher() -> object:
+        yield done
+        end_time[0] = engine.now
+
+    # The rogue prober: sustained read/write attempts on the victim's
+    # secret page through the accelerator's border checkpoint, racing the
+    # injected faults. The prober is the harness's own invariant monitor
+    # (trusted test equipment, not a modeled adversary), so its probe
+    # violations are logged rather than sanctioned — otherwise the first
+    # probe would quarantine a perfectly healthy accelerator.
+    probe_interval = max(1, ticks_of(probe_interval_cycles))
+    probe_stats = {"probes": 0, "conf": 0, "integ": 0}
+
+    def prober() -> object:
+        while not done.triggered:
+            yield probe_interval
+            if done.triggered:
+                return
+            probe_stats["probes"] += 1
+            saved = kernel.violation_policy
+            kernel.violation_policy = ViolationPolicy.LOG_ONLY
+            try:
+                data = yield from border.access(secret_paddr, BLOCK_SIZE, False)
+                if data is not None:
+                    probe_stats["conf"] += 1
+                wrote = yield from border.access(
+                    secret_paddr, BLOCK_SIZE, True, b"\xee" * BLOCK_SIZE
+                )
+                if wrote is not None:
+                    probe_stats["integ"] += 1
+            finally:
+                kernel.violation_policy = saved
+
+    # The supervisor: a progress-tracking watchdog. A fire with no new
+    # issued/completed operations means the device is wedged; recovery
+    # escalates from failing hung port accesses out to quarantining the
+    # accelerator (which resets and re-enables it after backoff).
+    watchdog_ticks = max(1, ticks_of(watchdog_cycles))
+    sup = {"fires": 0, "released": 0, "last": -1, "stalled": 0}
+
+    def supervisor() -> object:
+        while not done.triggered:
+            outcome = yield engine.deadline(done, watchdog_ticks)
+            if outcome is not TIMEOUT:
+                return
+            progress = system.gpu.mem_ops + system.gpu.blocked_ops
+            if progress != sup["last"]:
+                sup["last"] = progress
+                sup["stalled"] = 0
+                continue
+            sup["fires"] += 1
+            released = sum(port.release_hangs() for port in faulty_ports)
+            if released:
+                sup["released"] += released
+                continue
+            if kernel.quarantine_accelerator(
+                GPU_ID, "watchdog: accelerator stopped making progress"
+            ):
+                continue
+            sup["stalled"] += 1
+            if sup["stalled"] >= max_stalled_fires:
+                raise AcceleratorHangError(GPU_ID, sup["fires"])
+
+    engine.process(watcher(), name="chaos-watcher")
+    engine.process(prober(), name="chaos-prober")
+    engine.process(supervisor(), name="chaos-supervisor")
+    engine.run()
+
+    completed = bool(done.triggered)
+    ticks = end_time[0] - start
+
+    # Detach-style flush (Fig. 3e): drain the accelerator's dirty lines
+    # through the border so writeback-path faults (duplicated, dropped,
+    # or hung writebacks — and, after a quarantine, *blocked* stale
+    # writebacks) are exercised even when the kernel's working set never
+    # overflowed the L2. Hung flush accesses are released on a deadline
+    # so the flush always terminates.
+    flush_proc = engine.process(system.gpu.flush_caches(), name="chaos-flush")
+
+    def flush_guard() -> object:
+        stalled = 0
+        while not flush_proc.triggered:
+            outcome = yield engine.deadline(flush_proc, watchdog_ticks)
+            if outcome is not TIMEOUT:
+                return
+            sup["fires"] += 1
+            released = sum(port.release_hangs() for port in faulty_ports)
+            sup["released"] += released
+            stalled = 0 if released else stalled + 1
+            if stalled >= max_stalled_fires:
+                raise AcceleratorHangError(GPU_ID, sup["fires"])
+
+    engine.process(flush_guard(), name="chaos-flush-guard")
+    engine.run()
+    system.gpu.last_kernel_ticks = ticks
+    result = collect_result(system, workload_spec.name, trace, ticks)
+    result.faults_injected = plan.total_injected
+    result.watchdog_fires = sup["fires"]
+
+    secret_intact = system.phys.read(secret_paddr, PAGE_SIZE) == _SECRET
+    return ChaosRunResult(
+        workload=workload_spec.name,
+        kinds=tuple(kind.value for kind in kinds),
+        seed=seed,
+        result=result,
+        plan_signature=plan.signature(),
+        fault_counts=plan.counts_by_kind(),
+        trace_ops=trace.total_mem_ops,
+        probes=probe_stats["probes"],
+        conf_escapes=probe_stats["conf"],
+        integ_escapes=probe_stats["integ"],
+        secret_intact=secret_intact,
+        completed=completed,
+        hangs_released=sup["released"],
+    )
+
+
+def run_chaos_campaign(
+    workloads: Optional[Sequence[str]] = None,
+    kinds: Optional[Sequence[FaultKind]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+    per_kind: bool = True,
+    quick: bool = False,
+    config: Optional[SystemConfig] = None,
+) -> ChaosReport:
+    """Sweep fault kinds across workloads; returns the invariant report.
+
+    Each workload runs once per fault kind (isolating each failure mode)
+    plus once under the full mix. Every run gets a sub-seed derived from
+    ``(seed, workload, kinds)``, so the whole campaign is a pure function
+    of its arguments: the same seed reproduces the identical report
+    (:meth:`ChaosReport.signature`).
+    """
+    workloads = list(workloads or DEFAULT_CHAOS_WORKLOADS)
+    kinds = list(kinds or DEFAULT_CHAOS_KINDS)
+    if quick:
+        ops_scale = min(ops_scale, 0.25)
+    report = ChaosReport(seed=seed)
+    for workload in workloads:
+        mixes: List[List[FaultKind]] = []
+        if per_kind:
+            mixes.extend([kind] for kind in kinds)
+        if len(kinds) > 1 or not per_kind:
+            mixes.append(list(kinds))
+        for mix in mixes:
+            mix_name = "+".join(kind.value for kind in mix)
+            run_seed = derive_seed(seed, workload, mix_name)
+            report.runs.append(
+                run_chaos_single(
+                    workload,
+                    mix,
+                    seed=run_seed,
+                    ops_scale=ops_scale,
+                    config=config,
+                )
+            )
+    return report

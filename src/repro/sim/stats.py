@@ -107,6 +107,20 @@ class StatDomain:
         denom = self.get(denominator)
         return self.get(numerator) / denom if denom else 0.0
 
+    def total(self, leaf: str) -> int:
+        """Sum of every counter named ``leaf`` anywhere in this subtree.
+
+        Used by the fault-injection layer to aggregate e.g. ``injected``
+        or ``retries`` across several interposers without knowing where
+        each one was spliced into the hierarchy.
+        """
+        count = 0
+        if leaf in self._counters:
+            count += self._counters[leaf].value
+        for child in self._children.values():
+            count += child.total(leaf)
+        return count
+
     def _resolve(self, path: str) -> Tuple[Optional["StatDomain"], str]:
         parts = path.split(".")
         domain: Optional[StatDomain] = self
