@@ -1,0 +1,44 @@
+"""Parallel sweep — wall-clock and bit-identity of the fan-out layer.
+
+Runs a small Fig. 4 grid through ``repro.sweep`` on a 2-worker process
+pool, then proves the parallel results are field-for-field identical to
+serial execution with every cache bypassed. The benchmark time is the
+parallel wall clock; ``speedup_estimate`` (summed per-cell seconds over
+wall) approximates the parallel efficiency on this machine's cores.
+"""
+
+import pytest
+
+from repro import sweep
+from repro.sim.config import GPUThreading
+
+
+@pytest.fixture()
+def grid_cells():
+    return sweep.grid_cells(
+        "fig4",
+        threading=GPUThreading.MODERATELY,
+        workloads=["bfs", "hotspot"],
+        ops_scale=0.25,
+    )
+
+
+def test_sweep_parallel_identity(benchmark, grid_cells):
+    report = benchmark.pedantic(
+        sweep.run_sweep,
+        args=(grid_cells,),
+        kwargs={"workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.ok, report.failures()
+    assert len(report.outcomes) == len(grid_cells)
+
+    _serial, mismatches = sweep.verify_identical(grid_cells, report)
+    assert mismatches == [], mismatches
+
+    print(
+        f"\n{report.sims_per_minute:.1f} sims/min, "
+        f"estimated speedup {report.speedup_estimate:.2f}x "
+        f"({report.workers} workers, mode {report.mode})"
+    )

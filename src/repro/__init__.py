@@ -46,6 +46,8 @@ from repro.errors import (
     PageFault,
     ProtectionFault,
     ReproError,
+    SimulationIncompleteError,
+    SweepError,
     UnmappedAddressError,
 )
 from repro.faults import (
@@ -68,6 +70,7 @@ from repro.sim.runner import (
 )
 from repro.sim.system import System
 from repro.osmodel import Kernel, Process, ViolationPolicy
+from repro.sweep import Cell, SweepReport, run_sweep, verify_identical
 from repro.workloads import WORKLOADS, WorkloadSpec, generate_trace
 
 __version__ = "1.0.0"
@@ -81,6 +84,7 @@ __all__ = [
     "BorderControlCache",
     "BorderControlViolation",
     "BorderTimeoutError",
+    "Cell",
     "ChaosReport",
     "ChaosRunResult",
     "ConfigurationError",
@@ -100,6 +104,9 @@ __all__ = [
     "RunResult",
     "SafetyMode",
     "SandboxManager",
+    "SimulationIncompleteError",
+    "SweepError",
+    "SweepReport",
     "System",
     "SystemConfig",
     "TimingParams",
@@ -113,6 +120,8 @@ __all__ = [
     "run_chaos_campaign",
     "run_chaos_single",
     "run_single",
+    "run_sweep",
     "runtime_overhead",
+    "verify_identical",
     "__version__",
 ]

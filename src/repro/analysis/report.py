@@ -29,13 +29,30 @@ def full_report(
     quick: bool = False,
     seed: int = 1234,
     workloads: Optional[List[str]] = None,
+    workers: Optional[int] = 1,
 ) -> str:
     """Run everything and render one text report.
 
     ``quick`` scales traces down 4x for a fast smoke pass; the shapes
-    survive, the exact percentages wobble.
+    survive, the exact percentages wobble. ``workers`` > 1 (or ``None``
+    = all cores) prewarms the union of every figure's grid across a
+    process pool first; the serial assembly below then reads the shared
+    cache, producing output identical to a serial run.
     """
     ops_scale = 0.25 if quick else 1.0
+    if workers is None or workers > 1:
+        from repro import sweep
+
+        cells = []
+        # fig6's border-recording cells aren't cacheable; fig6.run below
+        # fans them out itself when given `workers`.
+        for grid_name in ("fig4", "fig5", "fig7", "workloads"):
+            cells.extend(
+                sweep.grid_cells(
+                    grid_name, workloads=workloads, seed=seed, ops_scale=ops_scale
+                )
+            )
+        sweep.prewarm(sweep.dedup_cells(cells), workers=workers)
     sections: List[str] = []
 
     sections.append(tables.table1())
@@ -68,7 +85,9 @@ def full_report(
         )
     )
 
-    f6 = fig6.run(workloads=workloads, seed=seed, ops_scale=ops_scale)
+    f6 = fig6.run(
+        workloads=workloads, seed=seed, ops_scale=ops_scale, workers=workers
+    )
     sections.append(f6.render())
     sections.append(
         line_chart(

@@ -8,7 +8,13 @@ Subcommands:
 * ``fig4|fig5|fig6|fig7`` — regenerate a single figure.
 * ``chaos`` — run a fault-injection campaign; exits nonzero on any
   confidentiality/integrity/termination invariant violation.
+* ``sweep`` — fan a figure grid out across a process pool, optionally
+  verify bit-identity against serial execution, and write the
+  ``BENCH_sweep.json`` perf snapshot.
 * ``workloads`` — list the available workload specs.
+
+``report``, ``export``, ``fig4``-``fig7``, ``chaos``, and ``sweep`` all
+take ``--workers N`` (``--workers 0`` = one per core).
 """
 
 from __future__ import annotations
@@ -36,6 +42,97 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes (0 = one per core; default 1 = serial)",
+    )
+
+
+def _workers(args: argparse.Namespace) -> Optional[int]:
+    workers = getattr(args, "workers", 1)
+    return None if workers == 0 else workers
+
+
+def _run_sweep_command(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, ops_scale: float
+) -> int:
+    """``sweep``: parallel grid fan-out + bench snapshot (+ verification)."""
+    from repro import sweep
+
+    grids = list(args.grid or ["fig4"])
+    if "all" in grids:
+        grids = list(sweep.GRID_NAMES)
+    unknown = [g for g in grids if g not in sweep.GRID_NAMES]
+    if unknown:
+        parser.error(
+            f"unknown grid(s) {unknown}; choose from {list(sweep.GRID_NAMES)}"
+        )
+    threading = None if args.gpu == "both" else _threading(args.gpu)
+
+    cells = []
+    for grid_name in grids:
+        cells.extend(
+            sweep.grid_cells(
+                grid_name,
+                threading=threading,
+                workloads=args.workloads,
+                seed=args.seed,
+                ops_scale=ops_scale,
+            )
+        )
+    cells = sweep.dedup_cells(cells)
+
+    def progress(done: int, total: int, label: str, error: Optional[str]) -> None:
+        status = "FAIL" if error else "ok"
+        print(f"  [{done}/{total}] {label} {status}", file=sys.stderr)
+
+    workers = _workers(args)
+    report = sweep.run_sweep(cells, workers=workers, progress=progress)
+
+    serial_wall = None
+    verified: Optional[bool] = None
+    mismatches: List[str] = []
+    if args.verify:
+        print("verifying against serial execution ...", file=sys.stderr)
+        serial_report, mismatches = sweep.verify_identical(cells, report)
+        serial_wall = serial_report.wall_seconds
+        verified = not mismatches
+
+    payload = sweep.write_bench(
+        args.bench_out,
+        report,
+        grids,
+        serial_wall_seconds=serial_wall,
+        verified_identical=verified,
+        extra={"seed": args.seed, "quick": args.quick},
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if serial_wall is not None and report.wall_seconds > 0:
+            print(
+                f"serial reference: {serial_wall:.2f}s, measured speedup "
+                f"{serial_wall / report.wall_seconds:.2f}x"
+            )
+        print(f"bench snapshot -> {args.bench_out}")
+    for mismatch in mismatches:
+        print(f"MISMATCH {mismatch}", file=sys.stderr)
+    if mismatches:
+        print(
+            f"serial/parallel verification FAILED ({len(mismatches)} mismatches)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="border-control",
@@ -45,6 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_report = sub.add_parser("report", help="full paper-vs-measured report")
     _add_common(p_report)
+    _add_workers(p_report)
 
     p_run = sub.add_parser("run", help="simulate one workload/configuration")
     p_run.add_argument("workload")
@@ -64,6 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for fig in ("fig4", "fig5", "fig6", "fig7"):
         p = sub.add_parser(fig, help=f"regenerate {fig}")
         _add_common(p)
+        _add_workers(p)
         if fig == "fig4":
             p.add_argument(
                 "--gpu", choices=["highly", "moderately", "both"], default="both"
@@ -83,12 +182,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_chaos.add_argument("--json", action="store_true",
                          help="emit the invariant report as JSON")
+    _add_workers(p_chaos)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel grid sweep with bench snapshot and serial verification",
+    )
+    _add_common(p_sweep)
+    _add_workers(p_sweep)
+    p_sweep.add_argument(
+        "--grid",
+        nargs="*",
+        default=["fig4"],
+        metavar="GRID",
+        help="grids to sweep: fig4 fig5 fig6 fig7 workloads all (default: fig4)",
+    )
+    p_sweep.add_argument(
+        "--gpu", choices=["highly", "moderately", "both"], default="both",
+        help="GPU configurations for grids that sweep threading",
+    )
+    p_sweep.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run the grid serially (caches bypassed) and fail on any "
+        "field-level mismatch with the parallel results",
+    )
+    p_sweep.add_argument(
+        "--bench-out",
+        default="BENCH_sweep.json",
+        metavar="PATH",
+        help="where to write the perf snapshot (default: BENCH_sweep.json)",
+    )
+    p_sweep.add_argument("--json", action="store_true",
+                         help="print the bench payload as JSON instead of text")
 
     sub.add_parser("workloads", help="list workload specs")
 
     p_export = sub.add_parser("export", help="write CSV/JSON artifacts")
     p_export.add_argument("--out", default="results", help="output directory")
     _add_common(p_export)
+    _add_workers(p_export)
 
     args = parser.parse_args(argv)
     ops_scale = 0.25 if getattr(args, "quick", False) else 1.0
@@ -96,7 +229,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from repro.analysis.report import full_report
 
-        print(full_report(quick=args.quick, seed=args.seed, workloads=args.workloads))
+        print(
+            full_report(
+                quick=args.quick,
+                seed=args.seed,
+                workloads=args.workloads,
+                workers=_workers(args),
+            )
+        )
         return 0
 
     if args.command == "run":
@@ -156,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     workloads=args.workloads,
                     seed=args.seed,
                     ops_scale=ops_scale,
+                    workers=_workers(args),
                 ).render()
             )
             print()
@@ -167,7 +308,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         driver = {"fig5": fig5, "fig6": fig6, "fig7": fig7}[args.command]
         print(
             driver.run(
-                workloads=args.workloads, seed=args.seed, ops_scale=ops_scale
+                workloads=args.workloads,
+                seed=args.seed,
+                ops_scale=ops_scale,
+                workers=_workers(args),
             ).render()
         )
         return 0
@@ -188,6 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             ops_scale=ops_scale,
             quick=args.quick,
+            workers=_workers(args),
         )
         if args.json:
             import json
@@ -197,11 +342,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.render())
         return 0 if report.ok else 1
 
+    if args.command == "sweep":
+        return _run_sweep_command(parser, args, ops_scale)
+
     if args.command == "export":
         from repro.analysis.export import export_all
 
         written = export_all(
-            args.out, quick=args.quick, seed=args.seed, workloads=args.workloads
+            args.out,
+            quick=args.quick,
+            seed=args.seed,
+            workloads=args.workloads,
+            workers=_workers(args),
         )
         for name, path in written.items():
             print(f"{name:<8s} -> {path}")

@@ -19,6 +19,8 @@ __all__ = [
     "AcceleratorHangError",
     "BorderControlViolation",
     "BorderTimeoutError",
+    "SimulationIncompleteError",
+    "SweepError",
 ]
 
 
@@ -96,6 +98,35 @@ class AcceleratorHangError(ReproError):
         )
         self.accel_id = accel_id
         self.watchdog_fires = watchdog_fires
+
+
+class SimulationIncompleteError(ReproError):
+    """A simulation ended without its kernel completing.
+
+    Raised at the source instead of letting a silent zero-tick
+    :class:`~repro.sim.runner.RunResult` flow into downstream metrics
+    (where it would only surface later as a baffling
+    ``ValueError: baseline has zero runtime``).
+    """
+
+    def __init__(self, workload: str, detail: str) -> None:
+        super().__init__(
+            f"kernel for workload {workload!r} never completed: {detail}"
+        )
+        self.workload = workload
+        self.detail = detail
+
+
+class SweepError(ReproError):
+    """One or more cells of a parallel sweep failed."""
+
+    def __init__(self, failures) -> None:
+        failures = list(failures)
+        summary = "; ".join(failures[:3])
+        if len(failures) > 3:
+            summary += f"; … and {len(failures) - 3} more"
+        super().__init__(f"{len(failures)} sweep cell(s) failed: {summary}")
+        self.failures = failures
 
 
 class BorderControlViolation(ReproError):

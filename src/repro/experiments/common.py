@@ -12,28 +12,39 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.config import GPUThreading, SafetyMode
 from repro.sim.runner import RunResult, run_single
 
 __all__ = [
     "CACHE_VERSION",
+    "cache_key",
+    "cache_path",
     "cached_run",
     "clear_cache",
     "fmt_percent",
     "fmt_ratio",
+    "store_result",
     "text_table",
 ]
 
 CACHE_VERSION = 5
 
-_memory_cache: Dict[str, RunResult] = {}
+# Memoized results, keyed by (cache dir, parameter key). The cache dir is
+# part of the key so that pointing REPRO_CACHE_DIR elsewhere (tests and
+# sweep workers do) never resurrects results memoized under the old dir.
+_memory_cache: Dict[Tuple[str, str], RunResult] = {}
 
 
 def _cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".exp_cache"))
+
+
+def _memory_key(key: str) -> Tuple[str, str]:
+    return (str(_cache_dir()), key)
 
 
 def _key(workload: str, safety: SafetyMode, threading: GPUThreading, **kwargs) -> str:
@@ -72,6 +83,69 @@ def _result_from_dict(data: dict) -> RunResult:
     return RunResult(**data)
 
 
+def cache_key(
+    workload: str,
+    safety: SafetyMode,
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+    downgrade_interval_cycles: Optional[float] = None,
+) -> str:
+    """The cache key :func:`cached_run` uses for these parameters."""
+    return _key(
+        workload,
+        safety,
+        threading,
+        seed=seed,
+        ops_scale=ops_scale,
+        dgi=downgrade_interval_cycles,
+    )
+
+
+def cache_path(key: str) -> Path:
+    """On-disk location of one cache entry (may not exist yet)."""
+    return _cache_dir() / f"{key}.json"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Publish a cache entry atomically.
+
+    Concurrent sweep workers share ``.exp_cache/``; a plain
+    ``write_text`` lets a reader observe a truncated JSON document
+    mid-write. Writing to a temp file in the same directory and
+    ``os.replace``-ing it in guarantees readers only ever see complete
+    entries (POSIX rename is atomic within a filesystem).
+    """
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def store_result(key: str, result: RunResult, use_disk: bool = True) -> None:
+    """Adopt an externally computed result into the caches.
+
+    The parallel sweep uses this to publish worker results into the
+    parent process's memory cache (and the shared disk cache, in case
+    the worker died between computing and persisting).
+    """
+    _memory_cache[_memory_key(key)] = result
+    if use_disk:
+        path = cache_path(key)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _write_atomic(path, json.dumps(_result_to_dict(result)))
+
+
 def cached_run(
     workload: str,
     safety: SafetyMode,
@@ -90,16 +164,24 @@ def cached_run(
         ops_scale=ops_scale,
         dgi=downgrade_interval_cycles,
     )
-    if key in _memory_cache:
-        return _memory_cache[key]
-    path = _cache_dir() / f"{key}.json"
+    mem_key = _memory_key(key)
+    if mem_key in _memory_cache:
+        return _memory_cache[mem_key]
+    path = cache_path(key)
     if use_disk and path.exists():
         try:
             result = _result_from_dict(json.loads(path.read_text()))
-            _memory_cache[key] = result
+            _memory_cache[mem_key] = result
             return result
+        except FileNotFoundError:
+            pass  # another process replaced/unlinked it mid-read; recompute
         except (ValueError, TypeError, KeyError):
-            path.unlink()  # stale or corrupt cache entry
+            # Stale or corrupt entry. A racing process may have detected
+            # (and unlinked) the same corruption first — that's fine.
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
     result = run_single(
         workload,
         safety,
@@ -108,10 +190,10 @@ def cached_run(
         ops_scale=ops_scale,
         downgrade_interval_cycles=downgrade_interval_cycles,
     )
-    _memory_cache[key] = result
+    _memory_cache[mem_key] = result
     if use_disk:
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(_result_to_dict(result)))
+        _write_atomic(path, json.dumps(_result_to_dict(result)))
     return result
 
 
@@ -120,7 +202,10 @@ def clear_cache(disk: bool = False) -> None:
     _memory_cache.clear()
     if disk and _cache_dir().is_dir():
         for path in _cache_dir().glob("*.json"):
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
 
 
 # -- text rendering helpers ---------------------------------------------------

@@ -16,14 +16,17 @@ Border Control-BCC      0.15%             0.84%
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.experiments.common import cached_run, fmt_percent, text_table
 from repro.sim.config import GPUThreading, SafetyMode
 from repro.sim.runner import geometric_mean, runtime_overhead
 from repro.workloads.registry import workload_names
 
-__all__ = ["Fig4Result", "run", "PAPER_GEOMEANS", "SAFETY_MODES"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.sweep import Cell
+
+__all__ = ["Fig4Result", "grid", "run", "PAPER_GEOMEANS", "SAFETY_MODES"]
 
 SAFETY_MODES = [
     SafetyMode.FULL_IOMMU,
@@ -96,13 +99,40 @@ class Fig4Result:
         )
 
 
+def grid(
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    workloads: Optional[List[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> List["Cell"]:
+    """The figure's simulation grid: baseline + every safety mode."""
+    from repro.sweep import Cell
+
+    names = workloads or workload_names()
+    return [
+        Cell(name, mode, threading, seed, ops_scale, tag="fig4")
+        for name in names
+        for mode in [SafetyMode.ATS_ONLY] + SAFETY_MODES
+    ]
+
+
 def run(
     threading: GPUThreading = GPUThreading.HIGHLY,
     workloads: Optional[List[str]] = None,
     seed: int = 1234,
     ops_scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> Fig4Result:
-    """Simulate every (workload, safety mode) pair for one GPU config."""
+    """Simulate every (workload, safety mode) pair for one GPU config.
+
+    With ``workers`` > 1 (or ``None`` = all cores) the grid is prewarmed
+    in parallel via :func:`repro.sweep.prewarm`; the assembly below then
+    consumes memoized results, so output is identical either way.
+    """
+    if workers is None or workers > 1:
+        from repro.sweep import prewarm
+
+        prewarm(grid(threading, workloads, seed, ops_scale), workers=workers)
     names = workloads or workload_names()
     result = Fig4Result(threading=threading)
     for mode in SAFETY_MODES:

@@ -10,14 +10,17 @@ caches filter most traffic before the border (paper §5.2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.experiments.common import cached_run, text_table
 from repro.sim.config import GPUThreading, SafetyMode
 
 from repro.workloads.registry import workload_names
 
-__all__ = ["Fig5Result", "run", "PAPER_REQUESTS_PER_CYCLE"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.sweep import Cell
+
+__all__ = ["Fig5Result", "grid", "run", "PAPER_REQUESTS_PER_CYCLE"]
 
 # Values readable from Fig. 5's bars (backprop and bfs are called out in
 # the text; the rest are approximate bar heights).
@@ -59,13 +62,34 @@ class Fig5Result:
         )
 
 
+def grid(
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    workloads: Optional[List[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> List["Cell"]:
+    """The figure's simulation grid: BC-BCC per workload."""
+    from repro.sweep import Cell
+
+    names = workloads or workload_names()
+    return [
+        Cell(name, SafetyMode.BC_BCC, threading, seed, ops_scale, tag="fig5")
+        for name in names
+    ]
+
+
 def run(
     threading: GPUThreading = GPUThreading.HIGHLY,
     workloads: Optional[List[str]] = None,
     seed: int = 1234,
     ops_scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> Fig5Result:
     """Measure border-crossing request rates under Border Control-BCC."""
+    if workers is None or workers > 1:
+        from repro.sweep import prewarm
+
+        prewarm(grid(threading, workloads, seed, ops_scale), workers=workers)
     names = workloads or workload_names()
     result = Fig5Result(threading=threading)
     for name in names:

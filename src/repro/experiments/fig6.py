@@ -17,7 +17,7 @@ BCC would see, without re-simulating the whole machine per point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bcc import BCCConfig, BorderControlCache
 from repro.experiments.common import text_table
@@ -25,7 +25,10 @@ from repro.sim.config import GPUThreading, SafetyMode
 from repro.sim.runner import run_single
 from repro.workloads.registry import workload_names
 
-__all__ = ["Fig6Result", "run", "replay_miss_ratio", "PAGES_PER_ENTRY_SWEEP"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.sweep import Cell
+
+__all__ = ["Fig6Result", "grid", "run", "replay_miss_ratio", "PAGES_PER_ENTRY_SWEEP"]
 
 PAGES_PER_ENTRY_SWEEP = (1, 2, 32, 512)
 DEFAULT_SIZES = (64, 128, 192, 256, 384, 512, 640, 768, 896, 1024)
@@ -81,6 +84,35 @@ class Fig6Result:
         )
 
 
+def grid(
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    workloads: Optional[List[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> List["Cell"]:
+    """The figure's simulation grid: one border-recording run per workload.
+
+    These cells carry ``record_border=True`` so they bypass the disk
+    cache (traces are never cached) and ship the recorded stream back
+    from the worker.
+    """
+    from repro.sweep import Cell
+
+    names = workloads or workload_names()
+    return [
+        Cell(
+            name,
+            SafetyMode.BC_BCC,
+            threading,
+            seed,
+            ops_scale,
+            record_border=True,
+            tag="fig6",
+        )
+        for name in names
+    ]
+
+
 def run(
     sizes_bytes: Sequence[int] = DEFAULT_SIZES,
     pages_per_entry: Sequence[int] = PAGES_PER_ENTRY_SWEEP,
@@ -88,21 +120,30 @@ def run(
     threading: GPUThreading = GPUThreading.HIGHLY,
     seed: int = 1234,
     ops_scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> Fig6Result:
     """Record border streams once per workload, replay over the sweep."""
     names = workloads or workload_names()
-    streams = []
-    for name in names:
-        res = run_single(
-            name,
-            SafetyMode.BC_BCC,
-            threading,
-            seed=seed,
-            ops_scale=ops_scale,
-            record_border=True,
+    if workers is None or workers > 1:
+        from repro.sweep import run_sweep
+
+        report = run_sweep(
+            grid(threading, names, seed, ops_scale), workers=workers
         )
-        if res.border_trace:
-            streams.append(res.border_trace)
+        results = report.results
+    else:
+        results = [
+            run_single(
+                name,
+                SafetyMode.BC_BCC,
+                threading,
+                seed=seed,
+                ops_scale=ops_scale,
+                record_border=True,
+            )
+            for name in names
+        ]
+    streams = [res.border_trace for res in results if res.border_trace]
     result = Fig6Result(sizes_bytes=list(sizes_bytes), workloads=list(names))
     for ppe in pages_per_entry:
         ratios: List[Optional[float]] = []

@@ -19,14 +19,17 @@ which is exactly the regime of Fig. 7 (costs are small and additive).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.experiments.common import cached_run, text_table
 from repro.sim.clock import TICKS_PER_SECOND
 from repro.sim.config import GPUThreading, SafetyMode
 from repro.workloads.registry import workload_names
 
-__all__ = ["Fig7Result", "run", "DEFAULT_RATES"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.sweep import Cell
+
+__all__ = ["Fig7Result", "grid", "run", "DEFAULT_RATES"]
 
 DEFAULT_RATES = (0, 100, 200, 400, 600, 800, 1000)
 MODES = (SafetyMode.ATS_ONLY, SafetyMode.BC_BCC)
@@ -79,14 +82,49 @@ class Fig7Result:
         )
 
 
+def grid(
+    workloads: Optional[List[str]] = None,
+    injection_interval_cycles: float = 4000.0,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> List["Cell"]:
+    """The figure's grid: plain + downgrade-injected cells, all configs."""
+    from repro.sweep import Cell
+
+    names = workloads or workload_names()
+    return [
+        Cell(
+            name,
+            mode,
+            threading,
+            seed,
+            ops_scale,
+            downgrade_interval_cycles=interval,
+            tag="fig7",
+        )
+        for mode in MODES
+        for threading in (GPUThreading.HIGHLY, GPUThreading.MODERATELY)
+        for name in names
+        for interval in (None, injection_interval_cycles)
+    ]
+
+
 def run(
     rates: Sequence[int] = DEFAULT_RATES,
     workloads: Optional[List[str]] = None,
     injection_interval_cycles: float = 4000.0,
     seed: int = 1234,
     ops_scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> Fig7Result:
     """Measure per-downgrade costs and build the Fig. 7 curves."""
+    if workers is None or workers > 1:
+        from repro.sweep import prewarm
+
+        prewarm(
+            grid(workloads, injection_interval_cycles, seed, ops_scale),
+            workers=workers,
+        )
     names = workloads or workload_names()
     result = Fig7Result(rates=list(rates))
     for mode in MODES:

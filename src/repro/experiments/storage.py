@@ -15,6 +15,7 @@ reports the sizes the allocator actually carved out.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.bcc import BCCConfig
 from repro.core.protection_table import ProtectionTable
@@ -57,7 +58,7 @@ class StorageResult:
         )
 
 
-def run(config: SystemConfig = None) -> StorageResult:
+def run(config: Optional[SystemConfig] = None) -> StorageResult:
     cfg = config or SystemConfig()
     phys = PhysicalMemory(cfg.phys_mem_bytes)
     allocator = FrameAllocator(phys)

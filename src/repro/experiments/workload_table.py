@@ -11,14 +11,17 @@ configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.experiments.common import cached_run, text_table
 from repro.sim.config import GPUThreading, SafetyMode
 from repro.sim.runner import RunResult
 from repro.workloads.registry import WORKLOADS, workload_names
 
-__all__ = ["WorkloadTable", "run"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.sweep import Cell
+
+__all__ = ["WorkloadTable", "grid", "run"]
 
 
 @dataclass
@@ -63,12 +66,33 @@ class WorkloadTable:
         )
 
 
+def grid(
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    workloads: Optional[List[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> List["Cell"]:
+    """The table's simulation grid: BC-BCC per workload."""
+    from repro.sweep import Cell
+
+    names = workloads or workload_names()
+    return [
+        Cell(name, SafetyMode.BC_BCC, threading, seed, ops_scale, tag="workloads")
+        for name in names
+    ]
+
+
 def run(
     threading: GPUThreading = GPUThreading.HIGHLY,
     workloads: Optional[List[str]] = None,
     seed: int = 1234,
     ops_scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> WorkloadTable:
+    if workers is None or workers > 1:
+        from repro.sweep import prewarm
+
+        prewarm(grid(threading, workloads, seed, ops_scale), workers=workers)
     names = workloads or workload_names()
     table = WorkloadTable(threading=threading)
     for name in names:

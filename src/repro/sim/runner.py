@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.accel.gpu import GPUGeometry, KernelTrace
 from repro.core.permissions import Perm
-from repro.errors import AcceleratorHangError
+from repro.errors import AcceleratorHangError, SimulationIncompleteError
 from repro.faults import (
     FaultKind,
     FaultPlan,
@@ -44,6 +44,7 @@ __all__ = [
     "run_single",
     "run_chaos_single",
     "run_chaos_campaign",
+    "chaos_grid",
     "runtime_overhead",
     "geometric_mean",
     "DEFAULT_CHAOS_WORKLOADS",
@@ -170,6 +171,16 @@ def run_single(
         system.engine.process(watcher(), name="kernel-watcher")
         system.engine.process(injector(), name="downgrade-injector")
         system.engine.run()
+        if not done.triggered:
+            # Without this check, end_time[0] stays at `start` and a
+            # silent ticks=0 result poisons runtime_overhead downstream.
+            raise SimulationIncompleteError(
+                spec.name,
+                "event queue drained with the kernel still outstanding "
+                f"under downgrade injection (interval "
+                f"{downgrade_interval_cycles:g} cycles, "
+                f"{downgrades[0]} downgrade(s) injected)",
+            )
         ticks = end_time[0] - start
         system.gpu.last_kernel_ticks = ticks
 
@@ -671,28 +682,26 @@ def run_chaos_single(
     )
 
 
-def run_chaos_campaign(
+def chaos_grid(
     workloads: Optional[Sequence[str]] = None,
     kinds: Optional[Sequence[FaultKind]] = None,
     seed: int = 1234,
     ops_scale: float = 1.0,
     per_kind: bool = True,
     quick: bool = False,
-    config: Optional[SystemConfig] = None,
-) -> ChaosReport:
-    """Sweep fault kinds across workloads; returns the invariant report.
+) -> List[Dict[str, object]]:
+    """The campaign's declarative grid: one kwargs dict per chaos run.
 
     Each workload runs once per fault kind (isolating each failure mode)
     plus once under the full mix. Every run gets a sub-seed derived from
-    ``(seed, workload, kinds)``, so the whole campaign is a pure function
-    of its arguments: the same seed reproduces the identical report
-    (:meth:`ChaosReport.signature`).
+    ``(seed, workload, kinds)``, so a campaign is a pure function of its
+    arguments regardless of execution order or parallelism.
     """
     workloads = list(workloads or DEFAULT_CHAOS_WORKLOADS)
     kinds = list(kinds or DEFAULT_CHAOS_KINDS)
     if quick:
         ops_scale = min(ops_scale, 0.25)
-    report = ChaosReport(seed=seed)
+    cells: List[Dict[str, object]] = []
     for workload in workloads:
         mixes: List[List[FaultKind]] = []
         if per_kind:
@@ -701,14 +710,65 @@ def run_chaos_campaign(
             mixes.append(list(kinds))
         for mix in mixes:
             mix_name = "+".join(kind.value for kind in mix)
-            run_seed = derive_seed(seed, workload, mix_name)
-            report.runs.append(
-                run_chaos_single(
-                    workload,
-                    mix,
-                    seed=run_seed,
+            cells.append(
+                dict(
+                    workload=workload,
+                    kinds=list(mix),
+                    seed=derive_seed(seed, workload, mix_name),
                     ops_scale=ops_scale,
-                    config=config,
                 )
             )
+    return cells
+
+
+def _chaos_cell(kwargs: Dict[str, object]) -> ChaosRunResult:
+    """Picklable worker entry point for one chaos grid cell."""
+    return run_chaos_single(**kwargs)  # type: ignore[arg-type]
+
+
+def run_chaos_campaign(
+    workloads: Optional[Sequence[str]] = None,
+    kinds: Optional[Sequence[FaultKind]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+    per_kind: bool = True,
+    quick: bool = False,
+    config: Optional[SystemConfig] = None,
+    workers: Optional[int] = 1,
+) -> ChaosReport:
+    """Sweep fault kinds across workloads; returns the invariant report.
+
+    The grid comes from :func:`chaos_grid`; with ``workers > 1`` the
+    cells fan out across a process pool (``workers=None`` uses every
+    core) via :func:`repro.sweep.fan_out`. Chaos results are never
+    disk-cached, and per-run sub-seeding makes the report identical
+    whatever the execution order: the same seed reproduces the same
+    :meth:`ChaosReport.signature`.
+    """
+    cells = chaos_grid(
+        workloads, kinds, seed=seed, ops_scale=ops_scale,
+        per_kind=per_kind, quick=quick,
+    )
+    if config is not None:
+        for cell in cells:
+            cell["config"] = config
+    report = ChaosReport(seed=seed)
+    if workers is not None and workers <= 1:
+        for cell in cells:
+            report.runs.append(_chaos_cell(cell))
+        return report
+    from repro.sweep import SweepError, fan_out  # local: avoids cycle
+
+    outcomes, _mode = fan_out(
+        _chaos_cell,
+        cells,
+        workers=workers,
+        label_of=lambda cell: "{}[{}]".format(
+            cell["workload"], "+".join(k.value for k in cell["kinds"])
+        ),
+    )
+    failures = [error for _value, error, _wall in outcomes if error]
+    if failures:
+        raise SweepError(failures)
+    report.runs.extend(value for value, _error, _wall in outcomes)
     return report

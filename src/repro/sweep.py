@@ -1,0 +1,571 @@
+"""``repro.sweep`` — parallel fan-out of deterministic simulation cells.
+
+Every paper figure and chaos campaign is a grid of independent
+(workload × safety × threading × seed) *cells*, and each cell is a pure
+function of its parameters. This module runs such grids across cores:
+
+* :class:`Cell` — one declarative simulation point. The figure drivers
+  (:mod:`repro.experiments.fig4` … ``fig7``, ``workload_table``) each
+  expose a ``grid(...)`` returning their cells; their ``run(...)``
+  entry points stay serial consumers of the shared result cache.
+* :func:`run_sweep` — dispatch cells to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, collect
+  per-cell wall times / failures / cache hits, and adopt results into
+  the parent's caches. Results are **bit-identical** to serial
+  execution: workers run the same deterministic ``run_single`` and
+  ship the ``RunResult`` back whole.
+* :func:`fan_out` — the generic ordered fan-out primitive
+  (``run_chaos_campaign`` uses it for :class:`ChaosRunResult` cells,
+  which bypass the disk cache).
+* :func:`verify_identical` — re-run a grid serially with every cache
+  bypassed and field-compare against the parallel results.
+* :class:`SweepReport` / :func:`write_bench` — perf accounting
+  (sims/minute, speedup, cache hit rate) and the ``BENCH_sweep.json``
+  snapshot the CI trajectory tracks.
+
+Workers share the repaired atomic disk cache (see
+:func:`repro.experiments.common.cached_run`): entries are published via
+temp-file + ``os.replace``, so concurrent writers never expose a
+truncated JSON document to readers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import SweepError
+from repro.experiments import common
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.runner import RunResult, run_single
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Cell",
+    "CellOutcome",
+    "GRID_NAMES",
+    "SweepReport",
+    "dedup_cells",
+    "fan_out",
+    "grid_cells",
+    "prewarm",
+    "resolve_workers",
+    "run_sweep",
+    "verify_identical",
+    "write_bench",
+]
+
+BENCH_SCHEMA = "repro-sweep-bench-v1"
+
+#: Grids :func:`grid_cells` knows how to build (``chaos`` is separate —
+#: see :func:`repro.sim.runner.run_chaos_campaign`, which takes
+#: ``workers`` directly).
+GRID_NAMES = ("fig4", "fig5", "fig6", "fig7", "workloads")
+
+ProgressFn = Callable[[int, int, str, Optional[str]], None]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One deterministic simulation point of a sweep grid."""
+
+    workload: str
+    safety: SafetyMode
+    threading: GPUThreading = GPUThreading.HIGHLY
+    seed: int = 1234
+    ops_scale: float = 1.0
+    downgrade_interval_cycles: Optional[float] = None
+    record_border: bool = False
+    tag: str = ""
+
+    @property
+    def label(self) -> str:
+        parts = [self.workload, self.safety.value, self.threading.value]
+        if self.downgrade_interval_cycles is not None:
+            parts.append(f"dgi={self.downgrade_interval_cycles:g}")
+        if self.record_border:
+            parts.append("trace")
+        if self.tag:
+            parts.insert(0, self.tag)
+        return "/".join(parts)
+
+    @property
+    def cacheable(self) -> bool:
+        """Border traces are never cached; everything else is."""
+        return not self.record_border
+
+    def key(self) -> str:
+        return common.cache_key(
+            self.workload,
+            self.safety,
+            self.threading,
+            seed=self.seed,
+            ops_scale=self.ops_scale,
+            downgrade_interval_cycles=self.downgrade_interval_cycles,
+        )
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: its result or a formatted failure."""
+
+    cell: Cell
+    result: Optional[RunResult]
+    error: Optional[str]
+    wall_seconds: float
+    cache_hit: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """Results plus the perf accounting for one sweep invocation."""
+
+    outcomes: List[CellOutcome]
+    workers: int
+    wall_seconds: float
+    mode: str  # "parallel" | "serial"
+
+    @property
+    def results(self) -> List[RunResult]:
+        """Per-cell results in grid order (raises if any cell failed)."""
+        self.raise_failures()
+        return [out.result for out in self.outcomes]  # type: ignore[misc]
+
+    @property
+    def ok(self) -> bool:
+        return all(out.ok for out in self.outcomes)
+
+    def failures(self) -> List[str]:
+        return [
+            f"{out.cell.label}: {out.error}"
+            for out in self.outcomes
+            if not out.ok
+        ]
+
+    def raise_failures(self) -> None:
+        if not self.ok:
+            raise SweepError(self.failures())
+
+    @property
+    def cell_seconds(self) -> float:
+        """Summed per-cell compute time — the serial-cost estimate."""
+        return sum(out.wall_seconds for out in self.outcomes)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        cacheable = [out for out in self.outcomes if out.cell.cacheable]
+        if not cacheable:
+            return 0.0
+        return sum(out.cache_hit for out in cacheable) / len(cacheable)
+
+    @property
+    def sims_per_minute(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return 60.0 * len(self.outcomes) / self.wall_seconds
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Summed cell time / wall time (1.0 ≈ no parallel benefit)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.cell_seconds / self.wall_seconds
+
+    def render(self) -> str:
+        rows = [
+            [
+                out.cell.label,
+                f"{out.wall_seconds:.2f}s",
+                "hit" if out.cache_hit else ("-" if out.cell.cacheable else "n/c"),
+                "ok" if out.ok else "FAIL",
+            ]
+            for out in self.outcomes
+        ]
+        table = common.text_table(
+            ["cell", "wall", "cache", "status"],
+            rows,
+            title=(
+                f"sweep: {len(self.outcomes)} cells, {self.workers} worker(s) "
+                f"[{self.mode}], {self.wall_seconds:.2f}s wall"
+            ),
+        )
+        summary = (
+            f"{self.sims_per_minute:.1f} sims/min, "
+            f"{self.cache_hit_rate:.0%} cache hits, "
+            f"estimated speedup {self.speedup_estimate:.2f}x"
+        )
+        lines = [table, summary]
+        lines.extend(f"  FAIL {failure}" for failure in self.failures())
+        return "\n".join(lines)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """``None`` → one worker per core; floors at 1."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+# ---------------------------------------------------------------------------
+# worker-side entry points (must be module-level: they cross the pickle
+# boundary into pool processes)
+# ---------------------------------------------------------------------------
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Pin the worker to the parent's cache dir with a cold memory cache.
+
+    With the ``fork`` start method workers inherit the parent's memoized
+    results; clearing them makes every worker's disk-hit accounting (and
+    its actual compute) independent of parent state, and keeps behavior
+    identical under ``spawn``.
+    """
+    if cache_dir is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+    common._memory_cache.clear()
+
+
+def _run_cell(task: Tuple[Cell, bool, bool]) -> Tuple[RunResult, bool]:
+    """Execute one cell; returns (result, disk-cache hit)."""
+    cell, use_disk, fresh = task
+    if fresh or not cell.cacheable:
+        result = run_single(
+            cell.workload,
+            cell.safety,
+            cell.threading,
+            seed=cell.seed,
+            ops_scale=cell.ops_scale,
+            record_border=cell.record_border,
+            downgrade_interval_cycles=cell.downgrade_interval_cycles,
+        )
+        return result, False
+    hit = use_disk and common.cache_path(cell.key()).exists()
+    result = common.cached_run(
+        cell.workload,
+        cell.safety,
+        cell.threading,
+        seed=cell.seed,
+        ops_scale=cell.ops_scale,
+        downgrade_interval_cycles=cell.downgrade_interval_cycles,
+        use_disk=use_disk,
+    )
+    return result, hit
+
+
+def _traced_call(fn: Callable, task: Any) -> Tuple[Any, Optional[str], float]:
+    """Run one call, capturing wall time and a formatted traceback.
+
+    Exceptions are flattened to strings *inside* the worker — raw
+    exception objects don't always survive pickling, and the parent
+    wants every failure, not just the first.
+    """
+    start = time.perf_counter()
+    try:
+        value = fn(task)
+        return value, None, time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        tb = traceback.format_exc(limit=8)
+        return None, f"{type(exc).__name__}: {exc}\n{tb}", time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# the fan-out core
+# ---------------------------------------------------------------------------
+
+
+def fan_out(
+    fn: Callable,
+    tasks: Sequence[Any],
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    label_of: Optional[Callable[[Any], str]] = None,
+) -> Tuple[List[Tuple[Any, Optional[str], float]], str]:
+    """Run ``fn`` over ``tasks`` on a process pool, preserving order.
+
+    ``fn`` and every task must be picklable. Returns ``(outcomes,
+    mode)`` where each outcome is ``(value, error, wall_seconds)`` in
+    task order and ``mode`` is ``"parallel"`` or ``"serial"`` (the
+    serial path is taken in-process for ``workers <= 1`` or a single
+    task — no pool overhead, bit-identical results).
+
+    ``progress(done, total, label, error)`` fires as each cell lands,
+    in completion order.
+    """
+    workers = resolve_workers(workers)
+    total = len(tasks)
+    label_of = label_of or (lambda task: str(task))
+    outcomes: List[Optional[Tuple[Any, Optional[str], float]]] = [None] * total
+
+    def report(done: int, index: int) -> None:
+        if progress is not None:
+            outcome = outcomes[index]
+            assert outcome is not None
+            progress(done, total, label_of(tasks[index]), outcome[1])
+
+    if workers <= 1 or total <= 1:
+        for i, task in enumerate(tasks):
+            outcomes[i] = _traced_call(fn, task)
+            report(i + 1, i)
+        return outcomes, "serial"  # type: ignore[return-value]
+
+    with ProcessPoolExecutor(
+        max_workers=min(workers, total),
+        initializer=_worker_init,
+        initargs=(os.environ.get("REPRO_CACHE_DIR"),),
+    ) as pool:
+        futures = {
+            pool.submit(_traced_call, fn, task): i for i, task in enumerate(tasks)
+        }
+        pending = set(futures)
+        done_count = 0
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                index = futures[fut]
+                try:
+                    outcomes[index] = fut.result()
+                except Exception as exc:  # worker died (OOM, signal, ...)
+                    outcomes[index] = (
+                        None,
+                        f"worker failure: {type(exc).__name__}: {exc}",
+                        0.0,
+                    )
+                done_count += 1
+                report(done_count, index)
+    return outcomes, "parallel"  # type: ignore[return-value]
+
+
+def run_sweep(
+    cells: Sequence[Cell],
+    workers: Optional[int] = None,
+    use_disk: bool = True,
+    fresh: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Run a grid of cells, in parallel when ``workers`` allows.
+
+    Worker results are adopted into the calling process's memory cache
+    (and the shared disk cache), so a subsequent serial consumer — a
+    figure driver's ``run()`` — sees exactly the worker-computed
+    ``RunResult`` objects. ``fresh=True`` bypasses every cache layer
+    (each cell recomputed from scratch); :func:`verify_identical` uses
+    it to build an independent serial reference.
+    """
+    start = time.perf_counter()
+    raw, mode = fan_out(
+        _run_cell,
+        [(cell, use_disk, fresh) for cell in cells],
+        workers=workers,
+        progress=progress,
+        label_of=lambda task: task[0].label,
+    )
+    wall = time.perf_counter() - start
+    outcomes: List[CellOutcome] = []
+    for cell, (value, error, cell_wall) in zip(cells, raw):
+        result, hit = (None, False) if value is None else value
+        outcomes.append(CellOutcome(cell, result, error, cell_wall, hit))
+        if result is not None and cell.cacheable and not fresh:
+            common.store_result(cell.key(), result, use_disk=use_disk)
+    return SweepReport(
+        outcomes=outcomes,
+        workers=resolve_workers(workers),
+        wall_seconds=wall,
+        mode=mode,
+    )
+
+
+def prewarm(
+    cells: Sequence[Cell],
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Fan a grid out across cores so later serial reads are cache hits.
+
+    This is how the figure drivers parallelize without changing their
+    result-assembly logic: ``run(..., workers=N)`` prewarms the grid,
+    then the existing serial loop consumes memoized results. Raises
+    :class:`~repro.errors.SweepError` if any cell failed.
+    """
+    report = run_sweep(cells, workers=workers, progress=progress)
+    report.raise_failures()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# serial/parallel equivalence
+# ---------------------------------------------------------------------------
+
+
+def compare_results(a: RunResult, b: RunResult) -> List[str]:
+    """Field-by-field differences between two results (empty == identical)."""
+    diffs = []
+    for fld in dataclasses.fields(RunResult):
+        va, vb = getattr(a, fld.name), getattr(b, fld.name)
+        if va != vb:
+            diffs.append(f"{fld.name}: {va!r} != {vb!r}")
+    return diffs
+
+
+def verify_identical(
+    cells: Sequence[Cell],
+    parallel: SweepReport,
+    progress: Optional[ProgressFn] = None,
+) -> Tuple[SweepReport, List[str]]:
+    """Prove a parallel sweep matches serial execution bit for bit.
+
+    Recomputes every cell serially with all caches bypassed and
+    field-compares against the parallel results. Returns the serial
+    report (its ``wall_seconds`` is the honest serial baseline) and the
+    list of mismatches (empty == identical).
+    """
+    serial = run_sweep(cells, workers=1, fresh=True, progress=progress)
+    mismatches: List[str] = []
+    for cell, par_out, ser_out in zip(cells, parallel.outcomes, serial.outcomes):
+        if par_out.result is None or ser_out.result is None:
+            mismatches.append(
+                f"{cell.label}: missing result "
+                f"(parallel={par_out.error}, serial={ser_out.error})"
+            )
+            continue
+        for diff in compare_results(par_out.result, ser_out.result):
+            mismatches.append(f"{cell.label}: {diff}")
+    return serial, mismatches
+
+
+# ---------------------------------------------------------------------------
+# grid definitions and the bench snapshot
+# ---------------------------------------------------------------------------
+
+
+def grid_cells(
+    name: str,
+    threading: Union[GPUThreading, str, None] = None,
+    workloads: Optional[List[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+) -> List[Cell]:
+    """Build a named figure grid (see :data:`GRID_NAMES`).
+
+    ``threading`` narrows grids that sweep both GPU configurations;
+    figure grids with a fixed configuration ignore it.
+    """
+    from repro.experiments import fig4, fig5, fig6, fig7, workload_table
+
+    if isinstance(threading, str):
+        threading = GPUThreading(threading)
+    both = (GPUThreading.HIGHLY, GPUThreading.MODERATELY)
+    threadings = both if threading is None else (threading,)
+    kwargs = dict(workloads=workloads, seed=seed, ops_scale=ops_scale)
+    if name == "fig4":
+        cells: List[Cell] = []
+        for thr in threadings:
+            cells.extend(fig4.grid(thr, **kwargs))
+        return cells
+    if name == "fig5":
+        return fig5.grid(threading or GPUThreading.HIGHLY, **kwargs)
+    if name == "fig6":
+        return fig6.grid(threading or GPUThreading.HIGHLY, **kwargs)
+    if name == "fig7":
+        return fig7.grid(**kwargs)
+    if name == "workloads":
+        return workload_table.grid(threading or GPUThreading.HIGHLY, **kwargs)
+    raise ValueError(f"unknown grid {name!r} (expected one of {GRID_NAMES})")
+
+
+def dedup_cells(cells: Sequence[Cell]) -> List[Cell]:
+    """Drop cells whose cache key duplicates an earlier one.
+
+    Figure grids overlap (fig4's BC-BCC cells are fig5's whole grid);
+    when sweeping a union, running each key once is enough — every
+    consumer reads the shared cache. Uncacheable cells are kept as-is.
+    """
+    seen = set()
+    unique: List[Cell] = []
+    for cell in cells:
+        if not cell.cacheable:
+            unique.append(cell)
+            continue
+        key = cell.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(cell)
+    return unique
+
+
+def write_bench(
+    path: Union[str, Path],
+    report: SweepReport,
+    grids: Sequence[str],
+    serial_wall_seconds: Optional[float] = None,
+    verified_identical: Optional[bool] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write the ``BENCH_sweep.json`` perf snapshot; returns the payload.
+
+    ``speedup`` is measured (parallel vs. a real serial run) when
+    ``serial_wall_seconds`` is given, otherwise estimated from summed
+    per-cell times. Schema: :data:`BENCH_SCHEMA`.
+    """
+    walls = sorted(out.wall_seconds for out in report.outcomes)
+    speedup = None
+    if serial_wall_seconds is not None and report.wall_seconds > 0:
+        speedup = serial_wall_seconds / report.wall_seconds
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "grids": list(grids),
+        "cells": len(report.outcomes),
+        "workers": report.workers,
+        "cpu_count": os.cpu_count(),
+        "mode": report.mode,
+        "wall_seconds": round(report.wall_seconds, 4),
+        "serial_wall_seconds": (
+            None if serial_wall_seconds is None else round(serial_wall_seconds, 4)
+        ),
+        "speedup": None if speedup is None else round(speedup, 3),
+        "speedup_estimate": round(report.speedup_estimate, 3),
+        "sims_per_minute": round(report.sims_per_minute, 2),
+        "cache_hit_rate": round(report.cache_hit_rate, 4),
+        "cell_seconds_total": round(report.cell_seconds, 4),
+        "cell_seconds_max": round(walls[-1], 4) if walls else 0.0,
+        "cell_seconds_median": round(walls[len(walls) // 2], 4) if walls else 0.0,
+        "failures": report.failures(),
+        "verified_identical": verified_identical,
+        "cells_detail": [
+            {
+                "label": out.cell.label,
+                "wall_seconds": round(out.wall_seconds, 4),
+                "cache_hit": out.cache_hit,
+                "ok": out.ok,
+            }
+            for out in report.outcomes
+        ],
+    }
+    if extra:
+        payload.update(extra)
+    out_path = Path(path)
+    if out_path.parent != Path(""):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

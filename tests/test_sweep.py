@@ -1,0 +1,275 @@
+"""Tests for the parallel sweep layer and the repaired experiment cache.
+
+Covers the concurrency bugs this layer depends on (atomic disk-cache
+publication, corrupt-entry unlink races, memory-cache keying by cache
+dir), serial/parallel bit-identity, and the bench snapshot schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import sweep
+from repro.errors import SimulationIncompleteError, SweepError
+from repro.experiments import common, fig4
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.engine import Engine
+from repro.sim.runner import run_single
+
+BFS_ARGS = ("bfs", SafetyMode.ATS_ONLY, GPUThreading.MODERATELY)
+SCALE = 0.05
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.clear_cache()
+    yield
+    common.clear_cache()
+
+
+def _bfs_cell(**overrides):
+    params = dict(
+        workload="bfs",
+        safety=SafetyMode.ATS_ONLY,
+        threading=GPUThreading.MODERATELY,
+        ops_scale=SCALE,
+    )
+    params.update(overrides)
+    return sweep.Cell(**params)
+
+
+def _race_worker(cache_dir: str, queue) -> None:
+    """Child-process body for the cache race tests."""
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    common._memory_cache.clear()
+    try:
+        result = common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        queue.put(("ok", result.ticks))
+    except Exception as exc:  # pragma: no cover - failure reporting
+        queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class TestCacheConcurrency:
+    def test_two_processes_racing_on_same_key(self, tmp_path):
+        """Both racers must succeed and leave one valid, parseable entry."""
+        cache_dir = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context()
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_worker, args=(cache_dir, queue))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        outcomes = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=120)
+        assert all(status == "ok" for status, _ in outcomes), outcomes
+        assert len({ticks for _, ticks in outcomes}) == 1  # deterministic
+        key = common.cache_key(*BFS_ARGS, ops_scale=SCALE)
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert [p.stem for p in entries] == [key]
+        data = json.loads(entries[0].read_text())  # complete, not truncated
+        assert data["ticks"] == outcomes[0][1]
+
+    def test_racers_recover_from_preplanted_corrupt_entry(self, tmp_path):
+        """Two processes both detecting corruption must not trip each other."""
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir(parents=True)
+        key = common.cache_key(*BFS_ARGS, ops_scale=SCALE)
+        (cache_dir / f"{key}.json").write_text('{"ticks": 12')  # truncated
+        ctx = multiprocessing.get_context()
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_worker, args=(str(cache_dir), queue))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        outcomes = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=120)
+        assert all(status == "ok" for status, _ in outcomes), outcomes
+        data = json.loads((cache_dir / f"{key}.json").read_text())
+        assert data["ticks"] == outcomes[0][1]
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        leftovers = list((tmp_path / "cache").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_corrupt_entry_recomputed_and_rewritten(self, tmp_path):
+        result = common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        key = common.cache_key(*BFS_ARGS, ops_scale=SCALE)
+        path = tmp_path / "cache" / f"{key}.json"
+        path.write_text("not json at all")
+        common._memory_cache.clear()
+        again = common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        assert again.ticks == result.ticks
+        assert json.loads(path.read_text())["ticks"] == result.ticks
+
+    def test_unlink_race_on_corrupt_entry_is_tolerated(self, tmp_path, monkeypatch):
+        """A rival may unlink the corrupt entry first; we must not crash."""
+        from pathlib import Path
+
+        result = common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        key = common.cache_key(*BFS_ARGS, ops_scale=SCALE)
+        path = tmp_path / "cache" / f"{key}.json"
+        path.write_text("garbage")
+        common._memory_cache.clear()
+
+        real_unlink = Path.unlink
+
+        def rival_wins_the_unlink(self, *args, **kwargs):
+            real_unlink(self)  # the rival removes the corrupt entry first...
+            real_unlink(self)  # ...so our own unlink raises FileNotFoundError
+
+        monkeypatch.setattr(Path, "unlink", rival_wins_the_unlink)
+        # cached_run detects the corruption, loses the unlink race, and
+        # must still recompute cleanly instead of propagating the error.
+        again = common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        monkeypatch.undo()
+        assert again.ticks == result.ticks
+
+
+class TestMemoryCacheKeying:
+    def test_changing_cache_dir_invalidates_memoization(self, tmp_path, monkeypatch):
+        a = common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        key = common.cache_key(*BFS_ARGS, ops_scale=SCALE)
+        other = tmp_path / "other-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(other))
+        b = common.cached_run(*BFS_ARGS, ops_scale=SCALE)
+        # Same parameters → same measurements, but freshly computed and
+        # persisted under the *new* dir, not replayed from the old one.
+        assert a is not b
+        assert a.ticks == b.ticks
+        assert (other / f"{key}.json").exists()
+
+    def test_store_result_publishes_to_both_layers(self, tmp_path):
+        result = run_single(*BFS_ARGS, ops_scale=SCALE)
+        key = common.cache_key(*BFS_ARGS, ops_scale=SCALE)
+        common.store_result(key, result)
+        assert common.cached_run(*BFS_ARGS, ops_scale=SCALE) is result
+        assert (tmp_path / "cache" / f"{key}.json").exists()
+
+
+class TestSweepDeterminism:
+    def test_parallel_results_identical_to_serial(self):
+        cells = fig4.grid(GPUThreading.MODERATELY, workloads=["bfs"],
+                          ops_scale=SCALE)
+        parallel = sweep.run_sweep(cells, workers=2)
+        assert parallel.ok and parallel.mode == "parallel"
+        serial, mismatches = sweep.verify_identical(cells, parallel)
+        assert mismatches == []
+        for par_out, ser_out in zip(parallel.outcomes, serial.outcomes):
+            assert dataclasses.asdict(par_out.result) == dataclasses.asdict(
+                ser_out.result
+            )
+
+    def test_fig4_run_parallel_matches_serial(self):
+        kwargs = dict(workloads=["bfs"], ops_scale=SCALE)
+        par = fig4.run(GPUThreading.MODERATELY, workers=2, **kwargs)
+        common.clear_cache(disk=True)
+        ser = fig4.run(GPUThreading.MODERATELY, **kwargs)
+        assert par.overheads == ser.overheads
+        assert par.baseline_cycles == ser.baseline_cycles
+
+    def test_sweep_populates_shared_cache(self):
+        cells = [_bfs_cell()]
+        report = sweep.run_sweep(cells, workers=2)
+        assert report.cache_hit_rate == 0.0
+        again = sweep.run_sweep(cells, workers=2)
+        assert again.cache_hit_rate == 1.0
+        assert again.outcomes[0].result.ticks == report.outcomes[0].result.ticks
+
+
+class TestSweepMechanics:
+    def test_serial_fallback_for_one_worker(self):
+        report = sweep.run_sweep([_bfs_cell()], workers=1)
+        assert report.mode == "serial" and report.ok
+
+    def test_failures_are_collected_not_raised(self):
+        cells = [_bfs_cell(), _bfs_cell(workload="no-such-workload")]
+        report = sweep.run_sweep(cells, workers=2)
+        assert not report.ok
+        assert report.outcomes[0].ok
+        assert not report.outcomes[1].ok
+        assert "no-such-workload" in report.failures()[0]
+        with pytest.raises(SweepError):
+            report.raise_failures()
+
+    def test_dedup_cells_by_key_keeps_uncacheable(self):
+        a = _bfs_cell(tag="fig4")
+        b = _bfs_cell(tag="fig5")  # tag not part of the cache key
+        traced = _bfs_cell(record_border=True)
+        unique = sweep.dedup_cells([a, b, traced, traced])
+        assert unique == [a, traced, traced]
+
+    def test_grid_cells_all_names(self):
+        for name in sweep.GRID_NAMES:
+            cells = sweep.grid_cells(name, workloads=["bfs"], ops_scale=SCALE)
+            assert cells, name
+            assert all(cell.tag for cell in cells)
+        with pytest.raises(ValueError):
+            sweep.grid_cells("fig99")
+
+    def test_write_bench_schema(self, tmp_path):
+        report = sweep.run_sweep([_bfs_cell()], workers=1)
+        out = tmp_path / "BENCH_sweep.json"
+        payload = sweep.write_bench(
+            out, report, ["fig4"], serial_wall_seconds=report.wall_seconds * 2,
+            verified_identical=True,
+        )
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert on_disk["schema"] == sweep.BENCH_SCHEMA
+        assert on_disk["cells"] == 1
+        assert on_disk["speedup"] == pytest.approx(2.0)
+        assert on_disk["verified_identical"] is True
+        assert on_disk["cells_detail"][0]["ok"] is True
+
+
+class TestChaosCampaignParallel:
+    def test_parallel_campaign_signature_matches_serial(self):
+        from repro.faults import FaultKind
+        from repro.sim.runner import run_chaos_campaign
+
+        kwargs = dict(workloads=["bfs"], kinds=[FaultKind.DROP], ops_scale=0.1)
+        serial = run_chaos_campaign(workers=1, **kwargs)
+        parallel = run_chaos_campaign(workers=2, **kwargs)
+        assert serial.signature() == parallel.signature()
+        assert parallel.ok
+
+
+class TestZeroTickGuard:
+    def test_incomplete_downgrade_run_raises_at_source(self, monkeypatch):
+        """A kernel that never completes must fail loudly, not yield ticks=0."""
+        real_run = Engine.run
+        real_process = Engine.process
+
+        def spy_process(self, gen, name=""):
+            if name == "downgrade-injector":
+                self._wedged = True
+            return real_process(self, gen, name=name)
+
+        def wedged_run(self, until=None):
+            if getattr(self, "_wedged", False):
+                return self.now  # queue "drains" with the kernel outstanding
+            return real_run(self, until)
+
+        monkeypatch.setattr(Engine, "process", spy_process)
+        monkeypatch.setattr(Engine, "run", wedged_run)
+        with pytest.raises(SimulationIncompleteError, match="never completed"):
+            run_single(
+                "bfs",
+                SafetyMode.BC_BCC,
+                GPUThreading.MODERATELY,
+                ops_scale=SCALE,
+                downgrade_interval_cycles=4000.0,
+            )
