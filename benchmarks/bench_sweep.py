@@ -37,6 +37,11 @@ def test_sweep_parallel_identity(benchmark, grid_cells):
     _serial, mismatches = sweep.verify_identical(grid_cells, report)
     assert mismatches == [], mismatches
 
+    # An undisturbed sweep pays nothing for crash tolerance: every
+    # recovery counter stays zero and no cell needed a second attempt.
+    assert not report.stats.any_recovery, report.stats.as_dict()
+    assert all(out.attempts == 1 and not out.resumed for out in report.outcomes)
+
     print(
         f"\n{report.sims_per_minute:.1f} sims/min, "
         f"estimated speedup {report.speedup_estimate:.2f}x "

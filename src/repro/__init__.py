@@ -48,6 +48,7 @@ from repro.errors import (
     ReproError,
     SimulationIncompleteError,
     SweepError,
+    TransientCellError,
     UnmappedAddressError,
 )
 from repro.faults import (
@@ -69,7 +70,9 @@ from repro.sim.runner import (
     runtime_overhead,
 )
 from repro.sim.system import System
+from repro.journal import RunJournal, journal_dir, list_runs, new_run_id
 from repro.osmodel import Kernel, Process, ViolationPolicy
+from repro.supervisor import SupervisorPolicy, SupervisorStats, supervised_map
 from repro.sweep import Cell, SweepReport, run_sweep, verify_identical
 from repro.workloads import WORKLOADS, WorkloadSpec, generate_trace
 
@@ -101,15 +104,19 @@ __all__ = [
     "ProtectionFault",
     "ProtectionTable",
     "ReproError",
+    "RunJournal",
     "RunResult",
     "SafetyMode",
     "SandboxManager",
     "SimulationIncompleteError",
+    "SupervisorPolicy",
+    "SupervisorStats",
     "SweepError",
     "SweepReport",
     "System",
     "SystemConfig",
     "TimingParams",
+    "TransientCellError",
     "UnmappedAddressError",
     "ViolationPolicy",
     "ViolationRecord",
@@ -117,11 +124,15 @@ __all__ = [
     "WorkloadSpec",
     "generate_trace",
     "geometric_mean",
+    "journal_dir",
+    "list_runs",
+    "new_run_id",
     "run_chaos_campaign",
     "run_chaos_single",
     "run_single",
     "run_sweep",
     "runtime_overhead",
+    "supervised_map",
     "verify_identical",
     "__version__",
 ]

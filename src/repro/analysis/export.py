@@ -32,16 +32,20 @@ def export_all(
     seed: int = 1234,
     workloads: Optional[List[str]] = None,
     workers: Optional[int] = 1,
+    allow_partial: bool = False,
+    journal=None,
 ) -> Dict[str, str]:
     """Run every experiment and write CSV/JSON artifacts.
 
     ``workers`` > 1 (or ``None`` = all cores) prewarms the cacheable
-    grids in parallel first. Returns {artifact name: path written}.
+    grids in parallel first. ``allow_partial`` writes empty CSV fields
+    for failed cells instead of aborting; ``journal`` makes the prewarm
+    resumable. Returns {artifact name: path written}.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     ops_scale = 0.25 if quick else 1.0
-    if workers is None or workers > 1:
+    if workers is None or workers > 1 or journal is not None:
         from repro import sweep
 
         cells = []
@@ -51,19 +55,37 @@ def export_all(
                     grid_name, workloads=workloads, seed=seed, ops_scale=ops_scale
                 )
             )
-        sweep.prewarm(sweep.dedup_cells(cells), workers=workers)
+        sweep.prewarm(
+            sweep.dedup_cells(cells),
+            workers=workers,
+            journal=journal,
+            allow_partial=allow_partial,
+        )
     written: Dict[str, str] = {}
     summary: Dict[str, object] = {"quick": quick, "seed": seed}
+    if allow_partial:
+        summary["allow_partial"] = True
 
     # Figure 4: per-workload overheads, both GPU configurations.
     fig4_rows = []
     geomeans = {}
     for threading in (GPUThreading.HIGHLY, GPUThreading.MODERATELY):
-        result = fig4.run(threading, workloads=workloads, seed=seed, ops_scale=ops_scale)
+        result = fig4.run(
+            threading,
+            workloads=workloads,
+            seed=seed,
+            ops_scale=ops_scale,
+            allow_partial=allow_partial,
+        )
         for mode in fig4.SAFETY_MODES:
             for name, overhead in result.overheads[mode].items():
                 fig4_rows.append(
-                    [threading.value, mode.value, name, f"{overhead:.6f}"]
+                    [
+                        threading.value,
+                        mode.value,
+                        name,
+                        "" if overhead is None else f"{overhead:.6f}",
+                    ]
                 )
             geomeans[f"{threading.value}/{mode.value}"] = result.geomean(mode)
     path = out / "fig4_runtime_overhead.csv"
@@ -72,18 +94,33 @@ def export_all(
     summary["fig4_geomeans"] = geomeans
 
     # Figure 5: border requests per cycle.
-    f5 = fig5.run(workloads=workloads, seed=seed, ops_scale=ops_scale)
+    f5 = fig5.run(
+        workloads=workloads,
+        seed=seed,
+        ops_scale=ops_scale,
+        allow_partial=allow_partial,
+    )
     path = out / "fig5_requests_per_cycle.csv"
     write_csv(
         path,
         ["workload", "requests_per_cycle"],
-        [[n, f"{v:.6f}"] for n, v in f5.requests_per_cycle.items()],
+        [
+            [n, "" if v is None else f"{v:.6f}"]
+            for n, v in f5.requests_per_cycle.items()
+        ],
     )
     written["fig5"] = str(path)
     summary["fig5_average"] = f5.average
 
     # Figure 6: BCC miss-ratio sweep.
-    f6 = fig6.run(workloads=workloads, seed=seed, ops_scale=ops_scale, workers=workers)
+    f6 = fig6.run(
+        workloads=workloads,
+        seed=seed,
+        ops_scale=ops_scale,
+        workers=workers,
+        allow_partial=allow_partial,
+        journal=journal,
+    )
     f6_rows = []
     for ppe, line in sorted(f6.miss_ratio.items()):
         for size, ratio in zip(f6.sizes_bytes, line):
@@ -95,7 +132,12 @@ def export_all(
     written["fig6"] = str(path)
 
     # Figure 7: downgrade-rate sweep.
-    f7 = fig7.run(workloads=workloads, seed=seed, ops_scale=ops_scale)
+    f7 = fig7.run(
+        workloads=workloads,
+        seed=seed,
+        ops_scale=ops_scale,
+        allow_partial=allow_partial,
+    )
     f7_rows = []
     for mode in (SafetyMode.ATS_ONLY, SafetyMode.BC_BCC):
         for threading in (GPUThreading.HIGHLY, GPUThreading.MODERATELY):

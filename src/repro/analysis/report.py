@@ -30,6 +30,8 @@ def full_report(
     seed: int = 1234,
     workloads: Optional[List[str]] = None,
     workers: Optional[int] = 1,
+    allow_partial: bool = False,
+    journal=None,
 ) -> str:
     """Run everything and render one text report.
 
@@ -37,10 +39,13 @@ def full_report(
     survive, the exact percentages wobble. ``workers`` > 1 (or ``None``
     = all cores) prewarms the union of every figure's grid across a
     process pool first; the serial assembly below then reads the shared
-    cache, producing output identical to a serial run.
+    cache, producing output identical to a serial run. ``allow_partial``
+    renders explicit gap markers for failed cells instead of aborting;
+    ``journal`` (:class:`repro.journal.RunJournal`) makes the prewarm
+    resumable after a crash or interrupt.
     """
     ops_scale = 0.25 if quick else 1.0
-    if workers is None or workers > 1:
+    if workers is None or workers > 1 or journal is not None:
         from repro import sweep
 
         cells = []
@@ -52,41 +57,78 @@ def full_report(
                     grid_name, workloads=workloads, seed=seed, ops_scale=ops_scale
                 )
             )
-        sweep.prewarm(sweep.dedup_cells(cells), workers=workers)
+        sweep.prewarm(
+            sweep.dedup_cells(cells),
+            workers=workers,
+            journal=journal,
+            allow_partial=allow_partial,
+        )
     sections: List[str] = []
 
     sections.append(tables.table1())
     sections.append(tables.table2())
     sections.append(tables.table3())
     sections.append(
-        workload_table.run(workloads=workloads, seed=seed, ops_scale=ops_scale).render()
+        workload_table.run(
+            workloads=workloads,
+            seed=seed,
+            ops_scale=ops_scale,
+            allow_partial=allow_partial,
+        ).render()
     )
 
     for threading in (GPUThreading.HIGHLY, GPUThreading.MODERATELY):
-        result = fig4.run(threading, workloads=workloads, seed=seed, ops_scale=ops_scale)
+        result = fig4.run(
+            threading,
+            workloads=workloads,
+            seed=seed,
+            ops_scale=ops_scale,
+            allow_partial=allow_partial,
+        )
         sections.append(result.render())
-        full_iommu = result.overheads[SafetyMode.FULL_IOMMU]
+        full_iommu = {
+            name: value
+            for name, value in result.overheads[SafetyMode.FULL_IOMMU].items()
+            if value is not None
+        }
+        if full_iommu:
+            sections.append(
+                bar_chart(
+                    list(full_iommu.keys()),
+                    [v * 100 for v in full_iommu.values()],
+                    title=f"Full IOMMU overhead (%), {threading.label}",
+                    fmt="{:.1f}%",
+                )
+            )
+
+    f5 = fig5.run(
+        workloads=workloads,
+        seed=seed,
+        ops_scale=ops_scale,
+        allow_partial=allow_partial,
+    )
+    sections.append(f5.render())
+    f5_bars = {
+        name: value
+        for name, value in f5.requests_per_cycle.items()
+        if value is not None
+    }
+    if f5_bars:
         sections.append(
             bar_chart(
-                list(full_iommu.keys()),
-                [v * 100 for v in full_iommu.values()],
-                title=f"Full IOMMU overhead (%), {threading.label}",
-                fmt="{:.1f}%",
+                list(f5_bars.keys()),
+                list(f5_bars.values()),
+                title="Border Control requests per cycle (highly threaded)",
             )
         )
 
-    f5 = fig5.run(workloads=workloads, seed=seed, ops_scale=ops_scale)
-    sections.append(f5.render())
-    sections.append(
-        bar_chart(
-            list(f5.requests_per_cycle.keys()),
-            list(f5.requests_per_cycle.values()),
-            title="Border Control requests per cycle (highly threaded)",
-        )
-    )
-
     f6 = fig6.run(
-        workloads=workloads, seed=seed, ops_scale=ops_scale, workers=workers
+        workloads=workloads,
+        seed=seed,
+        ops_scale=ops_scale,
+        workers=workers,
+        allow_partial=allow_partial,
+        journal=journal,
     )
     sections.append(f6.render())
     sections.append(
@@ -97,7 +139,12 @@ def full_report(
         )
     )
 
-    f7 = fig7.run(workloads=workloads, seed=seed, ops_scale=ops_scale)
+    f7 = fig7.run(
+        workloads=workloads,
+        seed=seed,
+        ops_scale=ops_scale,
+        allow_partial=allow_partial,
+    )
     sections.append(f7.render())
     sections.append(
         line_chart(

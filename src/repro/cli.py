@@ -11,10 +11,17 @@ Subcommands:
 * ``sweep`` — fan a figure grid out across a process pool, optionally
   verify bit-identity against serial execution, and write the
   ``BENCH_sweep.json`` perf snapshot.
+* ``replay-cell`` — re-run a quarantined poison-cell repro bundle
+  in-process (no pool, no retries) so the failure surfaces directly.
 * ``workloads`` — list the available workload specs.
 
 ``report``, ``export``, ``fig4``-``fig7``, ``chaos``, and ``sweep`` all
-take ``--workers N`` (``--workers 0`` = one per core).
+take ``--workers N`` (``--workers 0`` = one per core). They also take
+``--run-id``/``--resume`` (journaled checkpoint/resume: an interrupted
+run exits 130 with a resume hint, and ``--resume <run-id>`` skips every
+journal-complete cell) and — except ``sweep``/``chaos`` — take
+``--allow-partial`` to render explicit gaps for failed cells instead of
+aborting.
 """
 
 from __future__ import annotations
@@ -57,8 +64,67 @@ def _workers(args: argparse.Namespace) -> Optional[int]:
     return None if workers == 0 else workers
 
 
+def _add_journal(parser: argparse.ArgumentParser, partial: bool = True) -> None:
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="RUN_ID",
+        help="journal this run under RUN_ID (enables a later --resume); "
+        "fails if that journal already exists",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume a journaled run: cells the journal records as "
+        "complete are rehydrated instead of re-executed",
+    )
+    if partial:
+        parser.add_argument(
+            "--allow-partial",
+            action="store_true",
+            help="degrade gracefully: render explicit gap markers for "
+            "failed cells instead of aborting the whole run",
+        )
+
+
+def _open_journal(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """The run journal implied by --run-id/--resume (None if neither)."""
+    run_id = getattr(args, "run_id", None)
+    resume = getattr(args, "resume", None)
+    if run_id and resume:
+        parser.error("--run-id and --resume are mutually exclusive")
+    if not run_id and not resume:
+        return None
+    from repro.journal import RunJournal
+
+    try:
+        if resume:
+            return RunJournal.open(resume, create=False)
+        return RunJournal.create(run_id)
+    except (FileExistsError, FileNotFoundError) as exc:
+        parser.error(str(exc))
+
+
+def _interrupted(journal) -> int:
+    """Exit path for Ctrl-C / SIGTERM: print the resume hint, exit 130."""
+    if journal is not None:
+        print(
+            f"\ninterrupted; completed cells are journaled — resume with "
+            f"--resume {journal.run_id}",
+            file=sys.stderr,
+        )
+    else:
+        print("\ninterrupted (no journal; rerun with --run-id to make "
+              "runs resumable)", file=sys.stderr)
+    return 130
+
+
 def _run_sweep_command(
-    parser: argparse.ArgumentParser, args: argparse.Namespace, ops_scale: float
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    ops_scale: float,
+    journal=None,
 ) -> int:
     """``sweep``: parallel grid fan-out + bench snapshot (+ verification)."""
     from repro import sweep
@@ -91,7 +157,15 @@ def _run_sweep_command(
         print(f"  [{done}/{total}] {label} {status}", file=sys.stderr)
 
     workers = _workers(args)
-    report = sweep.run_sweep(cells, workers=workers, progress=progress)
+    report = sweep.run_sweep(
+        cells, workers=workers, progress=progress, journal=journal
+    )
+    if journal is not None and report.resumed_cells:
+        print(
+            f"resumed {report.resumed_cells} cell(s) from journal "
+            f"{journal.run_id}",
+            file=sys.stderr,
+        )
 
     serial_wall = None
     verified: Optional[bool] = None
@@ -108,7 +182,11 @@ def _run_sweep_command(
         grids,
         serial_wall_seconds=serial_wall,
         verified_identical=verified,
-        extra={"seed": args.seed, "quick": args.quick},
+        extra={
+            "seed": args.seed,
+            "quick": args.quick,
+            "run_id": journal.run_id if journal is not None else None,
+        },
     )
     if args.json:
         import json
@@ -133,6 +211,102 @@ def _run_sweep_command(
     return 0 if report.ok else 1
 
 
+def _print_result(result) -> None:
+    print(f"workload:            {result.workload}")
+    print(f"configuration:       {result.safety.label} / {result.threading.label}")
+    print(f"runtime:             {result.gpu_cycles:.0f} GPU cycles")
+    print(f"memory ops:          {result.mem_ops}")
+    print(f"L1 hit ratio:        {result.l1_hit_ratio:.3f}")
+    print(f"L2 hit ratio:        {result.l2_hit_ratio:.3f}")
+    print(f"border checks:       {result.border_checks}")
+    print(f"checks per cycle:    {result.checks_per_cycle:.3f}")
+    print(f"BCC miss ratio:      {result.bcc_miss_ratio:.5f}")
+    print(f"DRAM bytes:          {result.dram_bytes}")
+    print(f"DRAM utilization:    {result.dram_utilization:.3f}")
+    print(f"violations:          {result.violations}")
+
+
+def _replay_cell(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> int:
+    """``replay-cell``: re-run a poison bundle in-process, no safety net.
+
+    The replay deliberately skips the supervised pool: a deterministic
+    failure reproduces right here with a full traceback, which is the
+    debugging artifact the quarantine existed to preserve.
+    """
+    import json
+
+    from repro.supervisor import BUNDLE_SCHEMA
+
+    try:
+        with open(args.bundle) as fh:
+            bundle = json.load(fh)
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot read bundle {args.bundle!r}: {exc}")
+    if bundle.get("schema") != BUNDLE_SCHEMA:
+        parser.error(
+            f"{args.bundle} is not a poison-cell bundle "
+            f"(schema {bundle.get('schema')!r}, expected {BUNDLE_SCHEMA!r})"
+        )
+    kind = bundle.get("kind")
+    print(
+        f"replaying {kind} cell (quarantined after {bundle.get('attempts')} "
+        f"attempt(s): {bundle.get('error', '?')})",
+        file=sys.stderr,
+    )
+
+    if kind == "sweep":
+        from repro.sim.runner import run_single
+        from repro.sweep import Cell
+
+        cell = Cell.from_dict(bundle["cell"])
+        result = run_single(
+            cell.workload,
+            cell.safety,
+            cell.threading,
+            seed=cell.seed,
+            ops_scale=cell.ops_scale,
+            record_border=cell.record_border,
+            downgrade_interval_cycles=cell.downgrade_interval_cycles,
+        )
+        if args.json:
+            from repro.experiments.common import _result_to_dict
+
+            print(json.dumps(_result_to_dict(result), indent=2))
+        else:
+            _print_result(result)
+        print("replay completed without error (failure did not reproduce)",
+              file=sys.stderr)
+        return 0
+
+    if kind == "chaos":
+        from repro.faults import FaultKind
+        from repro.sim.runner import chaos_result_to_dict, run_chaos_single
+
+        spec = bundle["cell"]
+        run = run_chaos_single(
+            spec["workload"],
+            [FaultKind(k) for k in spec["kinds"]],
+            seed=spec["seed"],
+            ops_scale=spec["ops_scale"],
+        )
+        if args.json:
+            print(json.dumps(chaos_result_to_dict(run), indent=2))
+        else:
+            print(f"workload:       {run.workload}")
+            print(f"fault kinds:    {', '.join(run.kinds)}")
+            print(f"seed:           {run.seed}")
+            print(f"faults:         {run.result.faults_injected}")
+            print(f"ok:             {run.ok}")
+        print("replay completed without error (failure did not reproduce)",
+              file=sys.stderr)
+        return 0 if run.ok else 1
+
+    parser.error(f"bundle kind {kind!r} is not replayable")
+    return 2  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="border-control",
@@ -143,6 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_report = sub.add_parser("report", help="full paper-vs-measured report")
     _add_common(p_report)
     _add_workers(p_report)
+    _add_journal(p_report)
 
     p_run = sub.add_parser("run", help="simulate one workload/configuration")
     p_run.add_argument("workload")
@@ -163,6 +338,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         p = sub.add_parser(fig, help=f"regenerate {fig}")
         _add_common(p)
         _add_workers(p)
+        _add_journal(p)
         if fig == "fig4":
             p.add_argument(
                 "--gpu", choices=["highly", "moderately", "both"], default="both"
@@ -183,6 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument("--json", action="store_true",
                          help="emit the invariant report as JSON")
     _add_workers(p_chaos)
+    _add_journal(p_chaos, partial=False)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -190,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_common(p_sweep)
     _add_workers(p_sweep)
+    _add_journal(p_sweep, partial=False)
     p_sweep.add_argument(
         "--grid",
         nargs="*",
@@ -222,10 +400,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_export.add_argument("--out", default="results", help="output directory")
     _add_common(p_export)
     _add_workers(p_export)
+    _add_journal(p_export)
+
+    p_replay = sub.add_parser(
+        "replay-cell",
+        help="re-run a quarantined poison-cell repro bundle in-process",
+    )
+    p_replay.add_argument(
+        "bundle", help="path to a poison-*.json bundle from the quarantine dir"
+    )
+    p_replay.add_argument("--json", action="store_true",
+                          help="emit the replayed result as JSON")
 
     args = parser.parse_args(argv)
     ops_scale = 0.25 if getattr(args, "quick", False) else 1.0
+    journal = _open_journal(parser, args)
 
+    try:
+        return _dispatch(parser, args, ops_scale, journal)
+    except KeyboardInterrupt:
+        return _interrupted(journal)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _dispatch(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    ops_scale: float,
+    journal,
+) -> int:
     if args.command == "report":
         from repro.analysis.report import full_report
 
@@ -235,6 +440,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 workloads=args.workloads,
                 workers=_workers(args),
+                allow_partial=args.allow_partial,
+                journal=journal,
             )
         )
         return 0
@@ -257,18 +464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             print(json.dumps(_result_to_dict(result), indent=2))
             return 0
-        print(f"workload:            {result.workload}")
-        print(f"configuration:       {result.safety.label} / {result.threading.label}")
-        print(f"runtime:             {result.gpu_cycles:.0f} GPU cycles")
-        print(f"memory ops:          {result.mem_ops}")
-        print(f"L1 hit ratio:        {result.l1_hit_ratio:.3f}")
-        print(f"L2 hit ratio:        {result.l2_hit_ratio:.3f}")
-        print(f"border checks:       {result.border_checks}")
-        print(f"checks per cycle:    {result.checks_per_cycle:.3f}")
-        print(f"BCC miss ratio:      {result.bcc_miss_ratio:.5f}")
-        print(f"DRAM bytes:          {result.dram_bytes}")
-        print(f"DRAM utilization:    {result.dram_utilization:.3f}")
-        print(f"violations:          {result.violations}")
+        _print_result(result)
         return 0
 
     if args.command == "tables":
@@ -297,6 +493,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     seed=args.seed,
                     ops_scale=ops_scale,
                     workers=_workers(args),
+                    allow_partial=args.allow_partial,
+                    journal=journal,
                 ).render()
             )
             print()
@@ -312,6 +510,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 ops_scale=ops_scale,
                 workers=_workers(args),
+                allow_partial=args.allow_partial,
+                journal=journal,
             ).render()
         )
         return 0
@@ -333,6 +533,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ops_scale=ops_scale,
             quick=args.quick,
             workers=_workers(args),
+            journal=journal,
         )
         if args.json:
             import json
@@ -343,7 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if report.ok else 1
 
     if args.command == "sweep":
-        return _run_sweep_command(parser, args, ops_scale)
+        return _run_sweep_command(parser, args, ops_scale, journal=journal)
 
     if args.command == "export":
         from repro.analysis.export import export_all
@@ -354,10 +555,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             workloads=args.workloads,
             workers=_workers(args),
+            allow_partial=args.allow_partial,
+            journal=journal,
         )
         for name, path in written.items():
             print(f"{name:<8s} -> {path}")
         return 0
+
+    if args.command == "replay-cell":
+        return _replay_cell(parser, args)
 
     if args.command == "workloads":
         from repro.workloads import WORKLOADS

@@ -21,6 +21,7 @@ __all__ = [
     "BorderTimeoutError",
     "SimulationIncompleteError",
     "SweepError",
+    "TransientCellError",
 ]
 
 
@@ -117,16 +118,34 @@ class SimulationIncompleteError(ReproError):
         self.detail = detail
 
 
-class SweepError(ReproError):
-    """One or more cells of a parallel sweep failed."""
+class TransientCellError(ReproError):
+    """A host-side cell failure worth retrying (I/O hiccup, OOM kill, ...).
 
-    def __init__(self, failures) -> None:
+    The sweep supervisor retries cells failing with this type using
+    bounded exponential backoff; any other exception type is treated as
+    potentially deterministic and quarantined as *poison* once the same
+    failure repeats (see :mod:`repro.supervisor`).
+    """
+
+
+class SweepError(ReproError):
+    """One or more cells of a parallel sweep failed.
+
+    ``outcomes`` (when provided) carries the per-cell outcomes of the
+    whole sweep — including every *successful* cell — so callers can
+    salvage partial results instead of losing the run. The element type
+    depends on the producer: :class:`repro.sweep.CellOutcome` for grid
+    sweeps, supervisor task outcomes for chaos campaigns.
+    """
+
+    def __init__(self, failures, outcomes=None) -> None:
         failures = list(failures)
         summary = "; ".join(failures[:3])
         if len(failures) > 3:
             summary += f"; … and {len(failures) - 3} more"
         super().__init__(f"{len(failures)} sweep cell(s) failed: {summary}")
         self.failures = failures
+        self.outcomes = list(outcomes) if outcomes is not None else None
 
 
 class BorderControlViolation(ReproError):

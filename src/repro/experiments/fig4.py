@@ -64,39 +64,55 @@ PAPER_FULL_IOMMU_HIGHLY = {
 
 @dataclass
 class Fig4Result:
-    """Per-workload overheads for one GPU threading configuration."""
+    """Per-workload overheads for one GPU threading configuration.
+
+    Under ``allow_partial``, cells that failed are recorded as ``None``
+    and rendered as explicit ``—`` gap markers; the geomean covers the
+    surviving workloads only.
+    """
 
     threading: GPUThreading
-    # overheads[mode][workload] -> fractional overhead (0.15 == 15%)
-    overheads: Dict[SafetyMode, Dict[str, float]] = field(default_factory=dict)
-    baseline_cycles: Dict[str, float] = field(default_factory=dict)
+    # overheads[mode][workload] -> fractional overhead (0.15 == 15%),
+    # or None for a gap (cell failed, partial rendering allowed)
+    overheads: Dict[SafetyMode, Dict[str, Optional[float]]] = field(
+        default_factory=dict
+    )
+    baseline_cycles: Dict[str, Optional[float]] = field(default_factory=dict)
 
-    def geomean(self, mode: SafetyMode) -> float:
-        return geometric_mean(list(self.overheads[mode].values()))
+    def geomean(self, mode: SafetyMode) -> Optional[float]:
+        values = [v for v in self.overheads[mode].values() if v is not None]
+        return geometric_mean(values) if values else None
+
+    @property
+    def complete(self) -> bool:
+        return all(
+            v is not None
+            for per_mode in self.overheads.values()
+            for v in per_mode.values()
+        )
 
     def render(self) -> str:
+        def fmt(value: Optional[float]) -> str:
+            return "—" if value is None else fmt_percent(value)
+
         headers = ["workload"] + [m.label for m in SAFETY_MODES]
         rows = []
         for name in self.overheads[SAFETY_MODES[0]]:
             rows.append(
-                [name]
-                + [fmt_percent(self.overheads[m][name]) for m in SAFETY_MODES]
+                [name] + [fmt(self.overheads[m][name]) for m in SAFETY_MODES]
             )
-        rows.append(
-            ["GEOMEAN"] + [fmt_percent(self.geomean(m)) for m in SAFETY_MODES]
-        )
+        rows.append(["GEOMEAN"] + [fmt(self.geomean(m)) for m in SAFETY_MODES])
         rows.append(
             ["paper"]
             + [fmt_percent(PAPER_GEOMEANS[self.threading][m]) for m in SAFETY_MODES]
         )
-        return text_table(
-            headers,
-            rows,
-            title=(
-                f"Figure 4{'a' if self.threading is GPUThreading.HIGHLY else 'b'}: "
-                f"runtime overhead vs. ATS-only IOMMU ({self.threading.label})"
-            ),
+        title = (
+            f"Figure 4{'a' if self.threading is GPUThreading.HIGHLY else 'b'}: "
+            f"runtime overhead vs. ATS-only IOMMU ({self.threading.label})"
         )
+        if not self.complete:
+            title += "  [PARTIAL: — marks failed cells]"
+        return text_table(headers, rows, title=title)
 
 
 def grid(
@@ -122,25 +138,49 @@ def run(
     seed: int = 1234,
     ops_scale: float = 1.0,
     workers: Optional[int] = 1,
+    allow_partial: bool = False,
+    journal=None,
 ) -> Fig4Result:
     """Simulate every (workload, safety mode) pair for one GPU config.
 
     With ``workers`` > 1 (or ``None`` = all cores) the grid is prewarmed
     in parallel via :func:`repro.sweep.prewarm`; the assembly below then
     consumes memoized results, so output is identical either way.
+    ``allow_partial`` degrades gracefully instead of aborting: failed
+    cells become ``None`` gaps in the result. A ``journal``
+    (:class:`repro.journal.RunJournal`) makes the prewarm resumable.
     """
-    if workers is None or workers > 1:
+    if workers is None or workers > 1 or journal is not None:
         from repro.sweep import prewarm
 
-        prewarm(grid(threading, workloads, seed, ops_scale), workers=workers)
+        prewarm(
+            grid(threading, workloads, seed, ops_scale),
+            workers=workers,
+            journal=journal,
+            allow_partial=allow_partial,
+        )
     names = workloads or workload_names()
     result = Fig4Result(threading=threading)
     for mode in SAFETY_MODES:
         result.overheads[mode] = {}
     for name in names:
-        base = cached_run(name, SafetyMode.ATS_ONLY, threading, seed, ops_scale)
-        result.baseline_cycles[name] = base.gpu_cycles
+        try:
+            base = cached_run(name, SafetyMode.ATS_ONLY, threading, seed, ops_scale)
+        except Exception:
+            if not allow_partial:
+                raise
+            base = None
+        result.baseline_cycles[name] = None if base is None else base.gpu_cycles
         for mode in SAFETY_MODES:
-            res = cached_run(name, mode, threading, seed, ops_scale)
+            if base is None:
+                result.overheads[mode][name] = None
+                continue
+            try:
+                res = cached_run(name, mode, threading, seed, ops_scale)
+            except Exception:
+                if not allow_partial:
+                    raise
+                result.overheads[mode][name] = None
+                continue
             result.overheads[mode][name] = runtime_overhead(res, base)
     return result

@@ -39,27 +39,35 @@ PAPER_AVERAGE = 0.11
 @dataclass
 class Fig5Result:
     threading: GPUThreading
-    requests_per_cycle: Dict[str, float] = field(default_factory=dict)
+    # None marks a gap (cell failed, partial rendering allowed)
+    requests_per_cycle: Dict[str, Optional[float]] = field(default_factory=dict)
 
     @property
     def average(self) -> float:
-        values = list(self.requests_per_cycle.values())
+        values = [v for v in self.requests_per_cycle.values() if v is not None]
         return sum(values) / len(values) if values else 0.0
+
+    @property
+    def complete(self) -> bool:
+        return all(v is not None for v in self.requests_per_cycle.values())
 
     def render(self) -> str:
         rows = [
-            [name, f"{value:.3f}", f"{PAPER_REQUESTS_PER_CYCLE.get(name, 0):.3f}"]
+            [
+                name,
+                "—" if value is None else f"{value:.3f}",
+                f"{PAPER_REQUESTS_PER_CYCLE.get(name, 0):.3f}",
+            ]
             for name, value in self.requests_per_cycle.items()
         ]
         rows.append(["AVG", f"{self.average:.3f}", f"{PAPER_AVERAGE:.3f}"])
-        return text_table(
-            ["workload", "req/cycle", "paper"],
-            rows,
-            title=(
-                "Figure 5: requests per cycle checked by Border Control "
-                f"({self.threading.label})"
-            ),
+        title = (
+            "Figure 5: requests per cycle checked by Border Control "
+            f"({self.threading.label})"
         )
+        if not self.complete:
+            title += "  [PARTIAL: — marks failed cells]"
+        return text_table(["workload", "req/cycle", "paper"], rows, title=title)
 
 
 def grid(
@@ -84,15 +92,32 @@ def run(
     seed: int = 1234,
     ops_scale: float = 1.0,
     workers: Optional[int] = 1,
+    allow_partial: bool = False,
+    journal=None,
 ) -> Fig5Result:
-    """Measure border-crossing request rates under Border Control-BCC."""
-    if workers is None or workers > 1:
+    """Measure border-crossing request rates under Border Control-BCC.
+
+    ``allow_partial`` renders gaps for failed cells instead of aborting;
+    ``journal`` makes the parallel prewarm resumable.
+    """
+    if workers is None or workers > 1 or journal is not None:
         from repro.sweep import prewarm
 
-        prewarm(grid(threading, workloads, seed, ops_scale), workers=workers)
+        prewarm(
+            grid(threading, workloads, seed, ops_scale),
+            workers=workers,
+            journal=journal,
+            allow_partial=allow_partial,
+        )
     names = workloads or workload_names()
     result = Fig5Result(threading=threading)
     for name in names:
-        res = cached_run(name, SafetyMode.BC_BCC, threading, seed, ops_scale)
+        try:
+            res = cached_run(name, SafetyMode.BC_BCC, threading, seed, ops_scale)
+        except Exception:
+            if not allow_partial:
+                raise
+            result.requests_per_cycle[name] = None
+            continue
         result.requests_per_cycle[name] = res.checks_per_cycle
     return result

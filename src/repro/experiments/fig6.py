@@ -67,6 +67,8 @@ class Fig6Result:
     # miss_ratio[pages_per_entry][size_index] averaged over workloads
     miss_ratio: Dict[int, List[Optional[float]]] = field(default_factory=dict)
     workloads: List[str] = field(default_factory=list)
+    #: Workloads whose recording run failed under ``allow_partial``.
+    missing: List[str] = field(default_factory=list)
 
     def render(self) -> str:
         headers = ["BCC bytes"] + [f"{ppe} pg/entry" for ppe in sorted(self.miss_ratio)]
@@ -77,11 +79,10 @@ class Fig6Result:
                 value = self.miss_ratio[ppe][i]
                 row.append("-" if value is None else f"{value:.4f}")
             rows.append(row)
-        return text_table(
-            headers,
-            rows,
-            title="Figure 6: BCC miss ratio vs. size (avg over workloads)",
-        )
+        title = "Figure 6: BCC miss ratio vs. size (avg over workloads)"
+        if self.missing:
+            title += f"  [PARTIAL: missing {', '.join(self.missing)}]"
+        return text_table(headers, rows, title=title)
 
 
 def grid(
@@ -121,30 +122,55 @@ def run(
     seed: int = 1234,
     ops_scale: float = 1.0,
     workers: Optional[int] = 1,
+    allow_partial: bool = False,
+    journal=None,
 ) -> Fig6Result:
-    """Record border streams once per workload, replay over the sweep."""
+    """Record border streams once per workload, replay over the sweep.
+
+    ``allow_partial`` averages the curves over workloads whose recording
+    run survived instead of aborting. Trace cells are never cached, so a
+    ``journal`` cannot skip them on resume, but it is still threaded to
+    :func:`run_sweep` for uniform interrupt handling.
+    """
     names = workloads or workload_names()
-    if workers is None or workers > 1:
+    missing: List[str] = []
+    if workers is None or workers > 1 or journal is not None:
         from repro.sweep import run_sweep
 
         report = run_sweep(
-            grid(threading, names, seed, ops_scale), workers=workers
+            grid(threading, names, seed, ops_scale),
+            workers=workers,
+            journal=journal,
         )
-        results = report.results
+        if allow_partial:
+            pairs = report.partial_results()
+            results = [res for _cell, res in pairs]
+            got = {cell.workload for cell, _res in pairs}
+            missing = [name for name in names if name not in got]
+        else:
+            results = report.results
     else:
-        results = [
-            run_single(
-                name,
-                SafetyMode.BC_BCC,
-                threading,
-                seed=seed,
-                ops_scale=ops_scale,
-                record_border=True,
-            )
-            for name in names
-        ]
+        results = []
+        for name in names:
+            try:
+                results.append(
+                    run_single(
+                        name,
+                        SafetyMode.BC_BCC,
+                        threading,
+                        seed=seed,
+                        ops_scale=ops_scale,
+                        record_border=True,
+                    )
+                )
+            except Exception:
+                if not allow_partial:
+                    raise
+                missing.append(name)
     streams = [res.border_trace for res in results if res.border_trace]
-    result = Fig6Result(sizes_bytes=list(sizes_bytes), workloads=list(names))
+    result = Fig6Result(
+        sizes_bytes=list(sizes_bytes), workloads=list(names), missing=missing
+    )
     for ppe in pages_per_entry:
         ratios: List[Optional[float]] = []
         for size in sizes_bytes:
@@ -154,6 +180,9 @@ def run(
                 ratios.append(None)  # budget too small for even one entry
                 continue
             per_workload = [replay_miss_ratio(s, config) for s in streams]
+            if not per_workload:
+                ratios.append(None)  # no surviving streams to average
+                continue
             ratios.append(sum(per_workload) / len(per_workload))
         result.miss_ratio[ppe] = ratios
     return result

@@ -116,14 +116,23 @@ def run(
     seed: int = 1234,
     ops_scale: float = 1.0,
     workers: Optional[int] = 1,
+    allow_partial: bool = False,
+    journal=None,
 ) -> Fig7Result:
-    """Measure per-downgrade costs and build the Fig. 7 curves."""
-    if workers is None or workers > 1:
+    """Measure per-downgrade costs and build the Fig. 7 curves.
+
+    ``allow_partial`` averages each curve over the workloads whose
+    cells survived instead of aborting on the first failure;
+    ``journal`` makes the parallel prewarm resumable.
+    """
+    if workers is None or workers > 1 or journal is not None:
         from repro.sweep import prewarm
 
         prewarm(
             grid(workloads, injection_interval_cycles, seed, ops_scale),
             workers=workers,
+            journal=journal,
+            allow_partial=allow_partial,
         )
     names = workloads or workload_names()
     result = Fig7Result(rates=list(rates))
@@ -132,15 +141,20 @@ def run(
         for threading in (GPUThreading.HIGHLY, GPUThreading.MODERATELY):
             costs: List[float] = []
             for name in names:
-                plain = cached_run(name, mode, threading, seed, ops_scale)
-                downgraded = cached_run(
-                    name,
-                    mode,
-                    threading,
-                    seed,
-                    ops_scale,
-                    downgrade_interval_cycles=injection_interval_cycles,
-                )
+                try:
+                    plain = cached_run(name, mode, threading, seed, ops_scale)
+                    downgraded = cached_run(
+                        name,
+                        mode,
+                        threading,
+                        seed,
+                        ops_scale,
+                        downgrade_interval_cycles=injection_interval_cycles,
+                    )
+                except Exception:
+                    if not allow_partial:
+                        raise
+                    continue  # cell failed: curve averages the survivors
                 if downgraded.downgrades <= 0:
                     continue
                 delta_ticks = max(0, downgraded.ticks - plain.ticks)

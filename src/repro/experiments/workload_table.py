@@ -28,6 +28,8 @@ __all__ = ["WorkloadTable", "grid", "run"]
 class WorkloadTable:
     threading: GPUThreading
     results: Dict[str, RunResult] = field(default_factory=dict)
+    #: Workloads whose cell failed under ``allow_partial``.
+    missing: List[str] = field(default_factory=list)
 
     def render(self) -> str:
         rows: List[List[str]] = []
@@ -46,6 +48,12 @@ class WorkloadTable:
                     f"{res.dram_utilization:.2f}",
                 ]
             )
+        title = (
+            f"Workload characteristics under Border Control-BCC "
+            f"({self.threading.label})"
+        )
+        if self.missing:
+            title += f"  [PARTIAL: missing {', '.join(self.missing)}]"
         return text_table(
             [
                 "workload",
@@ -59,10 +67,7 @@ class WorkloadTable:
                 "DRAM util",
             ],
             rows,
-            title=(
-                f"Workload characteristics under Border Control-BCC "
-                f"({self.threading.label})"
-            ),
+            title=title,
         )
 
 
@@ -88,15 +93,29 @@ def run(
     seed: int = 1234,
     ops_scale: float = 1.0,
     workers: Optional[int] = 1,
+    allow_partial: bool = False,
+    journal=None,
 ) -> WorkloadTable:
-    if workers is None or workers > 1:
+    """``allow_partial`` drops failed workloads from the table with a
+    note instead of aborting; ``journal`` makes the prewarm resumable."""
+    if workers is None or workers > 1 or journal is not None:
         from repro.sweep import prewarm
 
-        prewarm(grid(threading, workloads, seed, ops_scale), workers=workers)
+        prewarm(
+            grid(threading, workloads, seed, ops_scale),
+            workers=workers,
+            journal=journal,
+            allow_partial=allow_partial,
+        )
     names = workloads or workload_names()
     table = WorkloadTable(threading=threading)
     for name in names:
-        table.results[name] = cached_run(
-            name, SafetyMode.BC_BCC, threading, seed, ops_scale
-        )
+        try:
+            table.results[name] = cached_run(
+                name, SafetyMode.BC_BCC, threading, seed, ops_scale
+            )
+        except Exception:
+            if not allow_partial:
+                raise
+            table.missing.append(name)
     return table

@@ -1,0 +1,233 @@
+"""``repro.journal`` — append-only run journals for checkpoint/resume.
+
+A *run journal* records, one JSON line per event, what a sweep or chaos
+campaign has accomplished so far. Because every entry is flushed to the
+OS as it is appended, a run killed at any instant (Ctrl-C, SIGTERM, OOM)
+leaves a journal describing exactly the cells that completed; rerunning
+with ``--resume <run-id>`` rehydrates those outcomes from the journal
+and executes only the remainder.
+
+Format (``<cache-dir>/journals/<run-id>.jsonl``)::
+
+    {"schema": "repro-run-journal-v1", "run_id": "...", ...}   # header
+    {"key": "<cell key>", "ok": true, "result": {...}, ...}    # entries
+
+Replay is **idempotent**: loading dedupes by ``key`` (last entry wins),
+so duplicate appends — a resumed run re-recording a cell, or two
+interleaved half-written campaigns — never corrupt the recovered state.
+Entries whose ``ok`` is false are kept for forensics but are *not*
+resumable: failed cells always re-execute.
+
+Journals are plain files under the cache dir; deleting them is always
+safe (the cost is recomputation, never correctness).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "journal_dir",
+    "list_runs",
+    "new_run_id",
+]
+
+JOURNAL_SCHEMA = "repro-run-journal-v1"
+
+
+def journal_dir(cache_dir: Optional[Path] = None) -> Path:
+    """Where journals live: ``<cache-dir>/journals``.
+
+    The cache dir honors ``REPRO_CACHE_DIR`` exactly like the result
+    cache (see :mod:`repro.experiments.common`), so sweep workers,
+    tests, and resumed runs all agree on the location.
+    """
+    if cache_dir is None:
+        cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", ".exp_cache"))
+    return Path(cache_dir) / "journals"
+
+
+def new_run_id() -> str:
+    """A fresh, filesystem-safe run id (time-ordered + collision salt)."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    salt = os.urandom(3).hex()
+    return f"run-{stamp}-{salt}"
+
+
+def list_runs(directory: Optional[Path] = None) -> Dict[str, Path]:
+    """Known run ids → journal paths, newest last."""
+    directory = directory or journal_dir()
+    if not directory.is_dir():
+        return {}
+    paths = sorted(directory.glob("*.jsonl"), key=lambda p: p.stat().st_mtime)
+    return {p.stem: p for p in paths}
+
+
+class RunJournal:
+    """One run's append-only completion log.
+
+    Use :meth:`create` for a new run and :meth:`open` to resume one.
+    ``record`` appends and flushes a single entry; ``completed`` answers
+    "has this key already succeeded?" for the resume path.
+    """
+
+    def __init__(self, path: Path, run_id: str) -> None:
+        self.path = path
+        self.run_id = run_id
+        self._entries: Dict[str, dict] = {}
+        self._fh = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, run_id: Optional[str] = None, directory: Optional[Path] = None
+    ) -> "RunJournal":
+        """Start a new journal (overwrites nothing; fails if it exists)."""
+        run_id = run_id or new_run_id()
+        directory = directory or journal_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{run_id}.jsonl"
+        if path.exists():
+            raise FileExistsError(
+                f"journal for run {run_id!r} already exists at {path}; "
+                f"use --resume {run_id} or pick another --run-id"
+            )
+        journal = cls(path, run_id)
+        journal._fh = open(path, "a")
+        journal._append(
+            {"schema": JOURNAL_SCHEMA, "run_id": run_id, "created": time.time()}
+        )
+        return journal
+
+    @classmethod
+    def open(
+        cls,
+        run_id: str,
+        directory: Optional[Path] = None,
+        create: bool = True,
+    ) -> "RunJournal":
+        """Load an existing journal for resuming (optionally creating it).
+
+        Duplicate keys in the file are deduped last-wins, making journal
+        replay idempotent under duplicate appends.
+        """
+        directory = directory or journal_dir()
+        path = directory / f"{run_id}.jsonl"
+        if not path.exists():
+            if not create:
+                known = ", ".join(list_runs(directory)) or "<none>"
+                raise FileNotFoundError(
+                    f"no journal for run {run_id!r} under {directory} "
+                    f"(known runs: {known})"
+                )
+            return cls.create(run_id, directory)
+        journal = cls(path, run_id)
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn tail of a killed run — everything before it is good
+                key = entry.get("key")
+                if key is not None:
+                    journal._entries[key] = entry
+        journal._fh = open(path, "a")
+        return journal
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                finally:
+                    self._fh.close()
+                    self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recording and lookup ---------------------------------------------
+
+    def _append(self, payload: dict) -> None:
+        assert self._fh is not None, "journal is closed"
+        self._fh.write(json.dumps(payload, default=str) + "\n")
+        self._fh.flush()
+
+    def record(self, key: str, entry: dict) -> None:
+        """Append one entry (idempotent: the latest entry per key wins)."""
+        payload = {"key": key, **entry}
+        with self._lock:
+            self._append(payload)
+            self._entries[key] = payload
+
+    def lookup(self, key: str) -> Optional[dict]:
+        return self._entries.get(key)
+
+    def completed(self, key: str) -> Optional[dict]:
+        """The entry for ``key`` if it recorded a *successful* outcome."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.get("ok"):
+            return entry
+        return None
+
+    def completed_keys(self) -> Dict[str, dict]:
+        return {k: e for k, e in self._entries.items() if e.get("ok")}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- interrupt safety --------------------------------------------------
+
+    @contextmanager
+    def signal_guard(self) -> Iterator[None]:
+        """Make SIGINT/SIGTERM resumable while a campaign runs.
+
+        Converts the first SIGTERM into a :class:`KeyboardInterrupt` so
+        the normal unwind path (pool teardown, journal close) runs, and
+        flushes the journal on the way out. Entries are already flushed
+        per-append; the guard exists so a TERM'd run dies through
+        Python's exception machinery instead of mid-write. No-op when
+        not called from the main thread (signal handlers can only be
+        installed there).
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def on_term(signum, frame):
+            raise KeyboardInterrupt(f"terminated by signal {signum}")
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, on_term)
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+        try:
+            yield
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            with self._lock:
+                if self._fh is not None:
+                    self._fh.flush()

@@ -44,7 +44,10 @@ __all__ = [
     "run_single",
     "run_chaos_single",
     "run_chaos_campaign",
+    "chaos_cell_key",
     "chaos_grid",
+    "chaos_result_from_dict",
+    "chaos_result_to_dict",
     "runtime_overhead",
     "geometric_mean",
     "DEFAULT_CHAOS_WORKLOADS",
@@ -726,6 +729,94 @@ def _chaos_cell(kwargs: Dict[str, object]) -> ChaosRunResult:
     return run_chaos_single(**kwargs)  # type: ignore[arg-type]
 
 
+def chaos_cell_key(cell: Dict[str, object]) -> str:
+    """Stable journal/bundle key for one chaos grid cell."""
+    import hashlib
+    import json
+
+    blob = json.dumps(
+        {
+            "workload": cell["workload"],
+            "kinds": [k.value for k in cell["kinds"]],  # type: ignore[union-attr]
+            "seed": cell["seed"],
+            "ops_scale": cell["ops_scale"],
+        },
+        sort_keys=True,
+    )
+    return "chaos-" + hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _chaos_cell_label(cell: Dict[str, object]) -> str:
+    return "{}[{}]".format(
+        cell["workload"],
+        "+".join(k.value for k in cell["kinds"]),  # type: ignore[union-attr]
+    )
+
+
+def chaos_result_to_dict(run: ChaosRunResult) -> Dict[str, object]:
+    """Lossless JSON form of one chaos run (journal checkpointing)."""
+    from repro.experiments.common import _result_to_dict  # local: avoids cycle
+
+    out = _chaos_run_fields(run)
+    out["result"] = _result_to_dict(run.result)
+    return out
+
+
+def _chaos_run_fields(run: ChaosRunResult) -> Dict[str, object]:
+    return {
+        "workload": run.workload,
+        "kinds": list(run.kinds),
+        "seed": run.seed,
+        "plan_signature": [list(sig) for sig in run.plan_signature],
+        "fault_counts": dict(run.fault_counts),
+        "trace_ops": run.trace_ops,
+        "probes": run.probes,
+        "conf_escapes": run.conf_escapes,
+        "integ_escapes": run.integ_escapes,
+        "secret_intact": run.secret_intact,
+        "completed": run.completed,
+        "hangs_released": run.hangs_released,
+    }
+
+
+def chaos_result_from_dict(data: Dict[str, object]) -> ChaosRunResult:
+    """Rehydrate a journaled chaos run; inverse of :func:`chaos_result_to_dict`."""
+    from repro.experiments.common import _result_from_dict  # local: avoids cycle
+
+    return ChaosRunResult(
+        workload=data["workload"],  # type: ignore[arg-type]
+        kinds=tuple(data["kinds"]),  # type: ignore[arg-type]
+        seed=data["seed"],  # type: ignore[arg-type]
+        result=_result_from_dict(data["result"]),  # type: ignore[arg-type]
+        plan_signature=tuple(
+            tuple(sig) for sig in data["plan_signature"]  # type: ignore[union-attr]
+        ),
+        fault_counts=dict(data["fault_counts"]),  # type: ignore[arg-type]
+        trace_ops=data["trace_ops"],  # type: ignore[arg-type]
+        probes=data["probes"],  # type: ignore[arg-type]
+        conf_escapes=data["conf_escapes"],  # type: ignore[arg-type]
+        integ_escapes=data["integ_escapes"],  # type: ignore[arg-type]
+        secret_intact=data["secret_intact"],  # type: ignore[arg-type]
+        completed=data["completed"],  # type: ignore[arg-type]
+        hangs_released=data["hangs_released"],  # type: ignore[arg-type]
+    )
+
+
+def _describe_chaos_task(cell) -> Optional[Dict[str, object]]:
+    """Repro-bundle recipe for a chaos cell (``replay-cell`` consumes it)."""
+    if not isinstance(cell, dict):
+        return None
+    return {
+        "kind": "chaos",
+        "cell": {
+            "workload": cell["workload"],
+            "kinds": [k.value for k in cell["kinds"]],
+            "seed": cell["seed"],
+            "ops_scale": cell["ops_scale"],
+        },
+    }
+
+
 def run_chaos_campaign(
     workloads: Optional[Sequence[str]] = None,
     kinds: Optional[Sequence[FaultKind]] = None,
@@ -735,15 +826,26 @@ def run_chaos_campaign(
     quick: bool = False,
     config: Optional[SystemConfig] = None,
     workers: Optional[int] = 1,
+    policy=None,
+    journal=None,
 ) -> ChaosReport:
     """Sweep fault kinds across workloads; returns the invariant report.
 
     The grid comes from :func:`chaos_grid`; with ``workers > 1`` the
-    cells fan out across a process pool (``workers=None`` uses every
-    core) via :func:`repro.sweep.fan_out`. Chaos results are never
-    disk-cached, and per-run sub-seeding makes the report identical
-    whatever the execution order: the same seed reproduces the same
-    :meth:`ChaosReport.signature`.
+    cells fan out across a supervised process pool (``workers=None``
+    uses every core) via :func:`repro.sweep.fan_out` — a crashed or
+    hung pool worker is recovered without poisoning sibling cells.
+    Chaos results are never disk-cached, and per-run sub-seeding makes
+    the report identical whatever the execution order: the same seed
+    reproduces the same :meth:`ChaosReport.signature`.
+
+    With a ``journal`` (:class:`repro.journal.RunJournal`) every
+    finished run is checkpointed as it lands and an interrupted
+    campaign resumed with the same journal re-executes only the missing
+    cells — the rehydrated report is signature-identical to an
+    uninterrupted one. On failures a
+    :class:`~repro.errors.SweepError` is raised with the surviving
+    :class:`ChaosRunResult` objects attached as ``outcomes``.
     """
     cells = chaos_grid(
         workloads, kinds, seed=seed, ops_scale=ops_scale,
@@ -753,22 +855,70 @@ def run_chaos_campaign(
         for cell in cells:
             cell["config"] = config
     report = ChaosReport(seed=seed)
+
+    runs: List[Optional[ChaosRunResult]] = [None] * len(cells)
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        entry = journal.completed(chaos_cell_key(cell)) if journal else None
+        if entry is not None and entry.get("result") is not None:
+            runs[i] = chaos_result_from_dict(entry["result"])
+        else:
+            pending.append(i)
+
+    def record(task_index: int, ok: bool, error, wall: float, result) -> None:
+        if journal is None:
+            return
+        cell = cells[pending[task_index]]
+        journal.record(
+            chaos_cell_key(cell),
+            {
+                "label": _chaos_cell_label(cell),
+                "ok": ok,
+                "error": error,
+                "wall_seconds": round(wall, 6),
+                "cacheable": False,
+                "result": chaos_result_to_dict(result) if ok else None,
+            },
+        )
+
     if workers is not None and workers <= 1:
-        for cell in cells:
-            report.runs.append(_chaos_cell(cell))
+        import time as _time
+
+        for task_index, i in enumerate(pending):
+            start = _time.perf_counter()
+            result = _chaos_cell(cells[i])
+            runs[i] = result
+            record(task_index, True, None, _time.perf_counter() - start, result)
+        report.runs.extend(runs)  # type: ignore[arg-type]
         return report
     from repro.sweep import SweepError, fan_out  # local: avoids cycle
 
-    outcomes, _mode = fan_out(
-        _chaos_cell,
-        cells,
-        workers=workers,
-        label_of=lambda cell: "{}[{}]".format(
-            cell["workload"], "+".join(k.value for k in cell["kinds"])
-        ),
-    )
-    failures = [error for _value, error, _wall in outcomes if error]
-    if failures:
-        raise SweepError(failures)
-    report.runs.extend(value for value, _error, _wall in outcomes)
+    def on_outcome(task_index: int, out) -> None:
+        record(task_index, out.ok, out.error, out.wall_seconds, out.value)
+
+    def dispatch():
+        return fan_out(
+            _chaos_cell,
+            [cells[i] for i in pending],
+            workers=workers,
+            label_of=_chaos_cell_label,
+            policy=policy,
+            describe_task=_describe_chaos_task,
+            on_outcome=on_outcome,
+        )
+
+    if pending:
+        if journal is not None:
+            with journal.signal_guard():
+                outcomes, _mode = dispatch()
+        else:
+            outcomes, _mode = dispatch()
+        for i, out in zip(pending, outcomes):
+            runs[i] = out.value
+        failures = [out.error for out in outcomes if out.error]
+        if failures:
+            raise SweepError(
+                failures, outcomes=[run for run in runs if run is not None]
+            )
+    report.runs.extend(runs)  # type: ignore[arg-type]
     return report

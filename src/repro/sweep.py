@@ -8,20 +8,29 @@ function of its parameters. This module runs such grids across cores:
   (:mod:`repro.experiments.fig4` … ``fig7``, ``workload_table``) each
   expose a ``grid(...)`` returning their cells; their ``run(...)``
   entry points stay serial consumers of the shared result cache.
-* :func:`run_sweep` — dispatch cells to a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, collect
-  per-cell wall times / failures / cache hits, and adopt results into
-  the parent's caches. Results are **bit-identical** to serial
-  execution: workers run the same deterministic ``run_single`` and
-  ship the ``RunResult`` back whole.
+* :func:`run_sweep` — dispatch cells to a supervised process pool
+  (:mod:`repro.supervisor`), collect per-cell wall times / failures /
+  cache hits, and adopt results into the parent's caches. Results are
+  **bit-identical** to serial execution: workers run the same
+  deterministic ``run_single`` and ship the ``RunResult`` back whole.
+  One crashed or wedged worker no longer poisons sibling cells: the
+  supervisor rebuilds the pool, resubmits only the affected cells, and
+  retries transient failures with bounded backoff.
 * :func:`fan_out` — the generic ordered fan-out primitive
   (``run_chaos_campaign`` uses it for :class:`ChaosRunResult` cells,
   which bypass the disk cache).
+* **Checkpoint/resume** — pass a :class:`repro.journal.RunJournal` and
+  every completed cell is persisted as it lands; a later run with the
+  same journal rehydrates those outcomes instead of recomputing them
+  (``border-control sweep --resume <run-id>``). SIGINT/SIGTERM are
+  converted into a clean unwind so an interrupted run is always
+  resumable.
 * :func:`verify_identical` — re-run a grid serially with every cache
   bypassed and field-compare against the parallel results.
 * :class:`SweepReport` / :func:`write_bench` — perf accounting
-  (sims/minute, speedup, cache hit rate) and the ``BENCH_sweep.json``
-  snapshot the CI trajectory tracks.
+  (sims/minute, speedup, cache hit rate, supervisor recovery counters)
+  and the ``BENCH_sweep.json`` snapshot the CI trajectory tracks,
+  written atomically so a killed run never leaves a truncated snapshot.
 
 Workers share the repaired atomic disk cache (see
 :func:`repro.experiments.common.cached_run`): entries are published via
@@ -35,8 +44,6 @@ import dataclasses
 import json
 import os
 import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -52,14 +59,23 @@ from typing import (
 
 from repro.errors import SweepError
 from repro.experiments import common
+from repro.journal import RunJournal
 from repro.sim.config import GPUThreading, SafetyMode
 from repro.sim.runner import RunResult, run_single
+from repro.supervisor import (
+    SupervisorPolicy,
+    SupervisorStats,
+    TaskOutcome,
+    supervised_map,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
     "Cell",
     "CellOutcome",
     "GRID_NAMES",
+    "SupervisorPolicy",
+    "SupervisorStats",
     "SweepReport",
     "dedup_cells",
     "fan_out",
@@ -71,7 +87,7 @@ __all__ = [
     "write_bench",
 ]
 
-BENCH_SCHEMA = "repro-sweep-bench-v1"
+BENCH_SCHEMA = "repro-sweep-bench-v2"
 
 #: Grids :func:`grid_cells` knows how to build (``chaos`` is separate —
 #: see :func:`repro.sim.runner.run_chaos_campaign`, which takes
@@ -120,6 +136,30 @@ class Cell:
             downgrade_interval_cycles=self.downgrade_interval_cycles,
         )
 
+    def journal_key(self) -> str:
+        """The run-journal key (distinguishes trace cells from cached ones)."""
+        return self.key() + ("#trace" if self.record_border else "")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable parameters, for repro bundles and journals."""
+        return {
+            "workload": self.workload,
+            "safety": self.safety.value,
+            "threading": self.threading.value,
+            "seed": self.seed,
+            "ops_scale": self.ops_scale,
+            "downgrade_interval_cycles": self.downgrade_interval_cycles,
+            "record_border": self.record_border,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Cell":
+        data = dict(data)
+        data["safety"] = SafetyMode(data["safety"])
+        data["threading"] = GPUThreading(data["threading"])
+        return cls(**data)  # type: ignore[arg-type]
+
 
 @dataclass
 class CellOutcome:
@@ -130,6 +170,9 @@ class CellOutcome:
     error: Optional[str]
     wall_seconds: float
     cache_hit: bool
+    attempts: int = 1
+    error_kind: Optional[str] = None
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -144,6 +187,7 @@ class SweepReport:
     workers: int
     wall_seconds: float
     mode: str  # "parallel" | "serial"
+    stats: SupervisorStats = field(default_factory=SupervisorStats)
 
     @property
     def results(self) -> List[RunResult]:
@@ -164,7 +208,31 @@ class SweepReport:
 
     def raise_failures(self) -> None:
         if not self.ok:
-            raise SweepError(self.failures())
+            raise SweepError(self.failures(), outcomes=self.outcomes)
+
+    def partial_results(self) -> List[Tuple[Cell, RunResult]]:
+        """Every cell that *did* complete, in grid order.
+
+        The graceful-degradation companion to :attr:`results`: figure
+        drivers and reports use it (via ``--allow-partial``) to render
+        what survived a partially failed sweep instead of aborting.
+        """
+        return [
+            (out.cell, out.result)
+            for out in self.outcomes
+            if out.ok and out.result is not None
+        ]
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of cells that completed successfully (1.0 == all)."""
+        if not self.outcomes:
+            return 1.0
+        return sum(out.ok for out in self.outcomes) / len(self.outcomes)
+
+    @property
+    def resumed_cells(self) -> int:
+        return sum(out.resumed for out in self.outcomes)
 
     @property
     def cell_seconds(self) -> float:
@@ -192,12 +260,20 @@ class SweepReport:
         return self.cell_seconds / self.wall_seconds
 
     def render(self) -> str:
+        def cache_col(out: CellOutcome) -> str:
+            if out.resumed:
+                return "journal"
+            if out.cache_hit:
+                return "hit"
+            return "-" if out.cell.cacheable else "n/c"
+
         rows = [
             [
                 out.cell.label,
                 f"{out.wall_seconds:.2f}s",
-                "hit" if out.cache_hit else ("-" if out.cell.cacheable else "n/c"),
-                "ok" if out.ok else "FAIL",
+                cache_col(out),
+                ("ok" if out.ok else "FAIL")
+                + (f" (x{out.attempts})" if out.attempts > 1 else ""),
             ]
             for out in self.outcomes
         ]
@@ -212,9 +288,15 @@ class SweepReport:
         summary = (
             f"{self.sims_per_minute:.1f} sims/min, "
             f"{self.cache_hit_rate:.0%} cache hits, "
-            f"estimated speedup {self.speedup_estimate:.2f}x"
+            f"estimated speedup {self.speedup_estimate:.2f}x, "
+            f"completion {self.completion_rate:.0%}"
         )
-        lines = [table, summary]
+        stats = self.stats.as_dict()
+        stats["resumed_cells"] = max(stats["resumed_cells"], self.resumed_cells)
+        supervisor = "supervisor: " + ", ".join(
+            f"{name} {value}" for name, value in stats.items()
+        )
+        lines = [table, summary, supervisor]
         lines.extend(f"  FAIL {failure}" for failure in self.failures())
         return "\n".join(lines)
 
@@ -274,25 +356,31 @@ def _run_cell(task: Tuple[Cell, bool, bool]) -> Tuple[RunResult, bool]:
     return result, hit
 
 
-def _traced_call(fn: Callable, task: Any) -> Tuple[Any, Optional[str], float]:
-    """Run one call, capturing wall time and a formatted traceback.
-
-    Exceptions are flattened to strings *inside* the worker — raw
-    exception objects don't always survive pickling, and the parent
-    wants every failure, not just the first.
-    """
-    start = time.perf_counter()
-    try:
-        value = fn(task)
-        return value, None, time.perf_counter() - start
-    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-        tb = traceback.format_exc(limit=8)
-        return None, f"{type(exc).__name__}: {exc}\n{tb}", time.perf_counter() - start
+def _describe_cell_task(task: Any) -> Optional[Dict[str, Any]]:
+    """Repro-bundle recipe for a sweep task (``replay-cell`` consumes it)."""
+    if (
+        isinstance(task, tuple)
+        and len(task) == 3
+        and isinstance(task[0], Cell)
+    ):
+        return {"kind": "sweep", "cell": task[0].to_dict()}
+    return None
 
 
 # ---------------------------------------------------------------------------
 # the fan-out core
 # ---------------------------------------------------------------------------
+
+
+def _default_policy(policy: Optional[SupervisorPolicy]) -> SupervisorPolicy:
+    """Fill in the quarantine dir when the caller didn't pick one."""
+    if policy is None:
+        policy = SupervisorPolicy()
+    if policy.quarantine_dir is None:
+        policy = dataclasses.replace(
+            policy, quarantine_dir=common._cache_dir() / "quarantine"
+        )
+    return policy
 
 
 def fan_out(
@@ -301,60 +389,45 @@ def fan_out(
     workers: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     label_of: Optional[Callable[[Any], str]] = None,
-) -> Tuple[List[Tuple[Any, Optional[str], float]], str]:
-    """Run ``fn`` over ``tasks`` on a process pool, preserving order.
+    policy: Optional[SupervisorPolicy] = None,
+    stats: Optional[SupervisorStats] = None,
+    describe_task: Optional[Callable[[Any], Optional[Dict[str, Any]]]] = None,
+    on_outcome: Optional[Callable[[int, TaskOutcome], None]] = None,
+) -> Tuple[List[TaskOutcome], str]:
+    """Run ``fn`` over ``tasks`` on a supervised process pool, in order.
 
     ``fn`` and every task must be picklable. Returns ``(outcomes,
-    mode)`` where each outcome is ``(value, error, wall_seconds)`` in
-    task order and ``mode`` is ``"parallel"`` or ``"serial"`` (the
-    serial path is taken in-process for ``workers <= 1`` or a single
-    task — no pool overhead, bit-identical results).
+    mode)`` where each outcome is a
+    :class:`~repro.supervisor.TaskOutcome` in task order and ``mode``
+    is ``"parallel"`` or ``"serial"`` (the serial path is taken
+    in-process for ``workers <= 1`` or a single task — no pool
+    overhead, bit-identical results).
 
-    ``progress(done, total, label, error)`` fires as each cell lands,
-    in completion order.
+    Supervision (see :mod:`repro.supervisor`): a dead worker fails only
+    the cells it was actually running — with the real exception type in
+    the outcome — and the pool is rebuilt for the rest; transient
+    failures retry with bounded backoff; repeating deterministic
+    failures are quarantined as poison with a replayable repro bundle
+    under ``<cache-dir>/quarantine/``. ``SupervisorPolicy(retries=0)``
+    disables retries but keeps the crash containment.
+
+    ``progress(done, total, label, error)`` fires as each cell's fate
+    is sealed, in completion order.
     """
     workers = resolve_workers(workers)
-    total = len(tasks)
-    label_of = label_of or (lambda task: str(task))
-    outcomes: List[Optional[Tuple[Any, Optional[str], float]]] = [None] * total
-
-    def report(done: int, index: int) -> None:
-        if progress is not None:
-            outcome = outcomes[index]
-            assert outcome is not None
-            progress(done, total, label_of(tasks[index]), outcome[1])
-
-    if workers <= 1 or total <= 1:
-        for i, task in enumerate(tasks):
-            outcomes[i] = _traced_call(fn, task)
-            report(i + 1, i)
-        return outcomes, "serial"  # type: ignore[return-value]
-
-    with ProcessPoolExecutor(
-        max_workers=min(workers, total),
+    return supervised_map(
+        fn,
+        tasks,
+        workers,
+        policy=_default_policy(policy),
+        stats=stats,
+        progress=progress,
+        label_of=label_of,
+        describe_task=describe_task,
+        on_outcome=on_outcome,
         initializer=_worker_init,
         initargs=(os.environ.get("REPRO_CACHE_DIR"),),
-    ) as pool:
-        futures = {
-            pool.submit(_traced_call, fn, task): i for i, task in enumerate(tasks)
-        }
-        pending = set(futures)
-        done_count = 0
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                index = futures[fut]
-                try:
-                    outcomes[index] = fut.result()
-                except Exception as exc:  # worker died (OOM, signal, ...)
-                    outcomes[index] = (
-                        None,
-                        f"worker failure: {type(exc).__name__}: {exc}",
-                        0.0,
-                    )
-                done_count += 1
-                report(done_count, index)
-    return outcomes, "parallel"  # type: ignore[return-value]
+    )
 
 
 def run_sweep(
@@ -363,6 +436,8 @@ def run_sweep(
     use_disk: bool = True,
     fresh: bool = False,
     progress: Optional[ProgressFn] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    journal: Optional[RunJournal] = None,
 ) -> SweepReport:
     """Run a grid of cells, in parallel when ``workers`` allows.
 
@@ -372,27 +447,103 @@ def run_sweep(
     ``RunResult`` objects. ``fresh=True`` bypasses every cache layer
     (each cell recomputed from scratch); :func:`verify_identical` uses
     it to build an independent serial reference.
+
+    With a ``journal``, cells whose key already has a successful entry
+    are rehydrated from it (``resumed`` outcomes — zero recompute), and
+    every newly executed cell is journaled as it lands, making the run
+    resumable after any interruption. Trace-recording cells are never
+    resumed (their payload is deliberately not persisted).
     """
     start = time.perf_counter()
-    raw, mode = fan_out(
-        _run_cell,
-        [(cell, use_disk, fresh) for cell in cells],
-        workers=workers,
-        progress=progress,
-        label_of=lambda task: task[0].label,
-    )
-    wall = time.perf_counter() - start
-    outcomes: List[CellOutcome] = []
-    for cell, (value, error, cell_wall) in zip(cells, raw):
-        result, hit = (None, False) if value is None else value
-        outcomes.append(CellOutcome(cell, result, error, cell_wall, hit))
-        if result is not None and cell.cacheable and not fresh:
+    stats = SupervisorStats()
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        entry = None
+        if journal is not None and cell.cacheable and not fresh:
+            entry = journal.completed(cell.journal_key())
+        if entry is not None and entry.get("result") is not None:
+            result = common._result_from_dict(entry["result"])
+            outcomes[i] = CellOutcome(
+                cell,
+                result,
+                None,
+                float(entry.get("wall_seconds", 0.0)),
+                cache_hit=True,
+                attempts=int(entry.get("attempts", 1)),
+                resumed=True,
+            )
+            stats.resumed_cells += 1
             common.store_result(cell.key(), result, use_disk=use_disk)
+        else:
+            pending.append(i)
+
+    def on_outcome(task_index: int, out: TaskOutcome) -> None:
+        cell = cells[pending[task_index]]
+        if journal is None:
+            return
+        result_payload = None
+        if out.ok and out.value is not None and cell.cacheable:
+            result_payload = common._result_to_dict(out.value[0])
+        journal.record(
+            cell.journal_key(),
+            {
+                "label": cell.label,
+                "ok": out.ok,
+                "error": out.error,
+                "wall_seconds": round(out.wall_seconds, 6),
+                "attempts": out.attempts,
+                "cacheable": cell.cacheable,
+                "result": result_payload,
+            },
+        )
+
+    mode = "serial"
+    if pending:
+        tasks = [(cells[i], use_disk, fresh) for i in pending]
+
+        def guarded() -> Tuple[List[TaskOutcome], str]:
+            return fan_out(
+                _run_cell,
+                tasks,
+                workers=workers,
+                progress=progress,
+                label_of=lambda task: task[0].label,
+                policy=policy,
+                stats=stats,
+                describe_task=_describe_cell_task,
+                on_outcome=on_outcome,
+            )
+
+        if journal is not None:
+            with journal.signal_guard():
+                raw, mode = guarded()
+        else:
+            raw, mode = guarded()
+        for i, out in zip(pending, raw):
+            cell = cells[i]
+            result, hit = (None, False) if out.value is None else out.value
+            outcomes[i] = CellOutcome(
+                cell,
+                result,
+                out.error,
+                out.wall_seconds,
+                hit,
+                attempts=out.attempts,
+                error_kind=out.error_kind,
+            )
+            if result is not None and cell.cacheable and not fresh:
+                common.store_result(cell.key(), result, use_disk=use_disk)
+    wall = time.perf_counter() - start
+    assert all(out is not None for out in outcomes)
     return SweepReport(
-        outcomes=outcomes,
+        outcomes=[out for out in outcomes if out is not None],
         workers=resolve_workers(workers),
         wall_seconds=wall,
         mode=mode,
+        stats=stats,
     )
 
 
@@ -400,16 +551,24 @@ def prewarm(
     cells: Sequence[Cell],
     workers: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    journal: Optional[RunJournal] = None,
+    allow_partial: bool = False,
 ) -> SweepReport:
     """Fan a grid out across cores so later serial reads are cache hits.
 
     This is how the figure drivers parallelize without changing their
     result-assembly logic: ``run(..., workers=N)`` prewarms the grid,
     then the existing serial loop consumes memoized results. Raises
-    :class:`~repro.errors.SweepError` if any cell failed.
+    :class:`~repro.errors.SweepError` if any cell failed — unless
+    ``allow_partial``, in which case the surviving cells are kept and
+    the caller renders explicit gaps for the rest.
     """
-    report = run_sweep(cells, workers=workers, progress=progress)
-    report.raise_failures()
+    report = run_sweep(
+        cells, workers=workers, progress=progress, policy=policy, journal=journal
+    )
+    if not allow_partial:
+        report.raise_failures()
     return report
 
 
@@ -438,7 +597,9 @@ def verify_identical(
     Recomputes every cell serially with all caches bypassed and
     field-compares against the parallel results. Returns the serial
     report (its ``wall_seconds`` is the honest serial baseline) and the
-    list of mismatches (empty == identical).
+    list of mismatches (empty == identical). Resumed (journal-recovered)
+    outcomes are compared exactly like freshly computed ones, so the
+    identity proof covers the checkpoint/resume path too.
     """
     serial = run_sweep(cells, workers=1, fresh=True, progress=progress)
     mismatches: List[str] = []
@@ -526,12 +687,18 @@ def write_bench(
 
     ``speedup`` is measured (parallel vs. a real serial run) when
     ``serial_wall_seconds`` is given, otherwise estimated from summed
-    per-cell times. Schema: :data:`BENCH_SCHEMA`.
+    per-cell times. The file is published atomically (temp file +
+    ``os.replace``) so a killed run never leaves a truncated snapshot.
+    Schema: :data:`BENCH_SCHEMA`.
     """
     walls = sorted(out.wall_seconds for out in report.outcomes)
     speedup = None
     if serial_wall_seconds is not None and report.wall_seconds > 0:
         speedup = serial_wall_seconds / report.wall_seconds
+    supervisor = report.stats.as_dict()
+    supervisor["resumed_cells"] = max(
+        supervisor["resumed_cells"], report.resumed_cells
+    )
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "grids": list(grids),
@@ -547,17 +714,21 @@ def write_bench(
         "speedup_estimate": round(report.speedup_estimate, 3),
         "sims_per_minute": round(report.sims_per_minute, 2),
         "cache_hit_rate": round(report.cache_hit_rate, 4),
+        "completion_rate": round(report.completion_rate, 4),
         "cell_seconds_total": round(report.cell_seconds, 4),
         "cell_seconds_max": round(walls[-1], 4) if walls else 0.0,
         "cell_seconds_median": round(walls[len(walls) // 2], 4) if walls else 0.0,
         "failures": report.failures(),
         "verified_identical": verified_identical,
+        "supervisor": supervisor,
         "cells_detail": [
             {
                 "label": out.cell.label,
                 "wall_seconds": round(out.wall_seconds, 4),
                 "cache_hit": out.cache_hit,
                 "ok": out.ok,
+                "attempts": out.attempts,
+                "resumed": out.resumed,
             }
             for out in report.outcomes
         ],
@@ -567,5 +738,5 @@ def write_bench(
     out_path = Path(path)
     if out_path.parent != Path(""):
         out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    common._write_atomic(out_path, json.dumps(payload, indent=2) + "\n")
     return payload

@@ -1,0 +1,325 @@
+"""Tests for the crash-tolerant process-pool supervisor.
+
+Fault injection is real: worker processes SIGKILL themselves mid-task,
+hang past their deadline, or raise transient/deterministic errors, and
+the tests assert the supervisor's containment story — siblings finish,
+charged attempts land on the right task, poison cells quarantine with a
+replayable bundle, and the counters account for every recovery action.
+
+Tasks are plain picklable tuples and the worker functions live at
+module level, so the same code runs under both ``fork`` and ``spawn``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import TransientCellError
+from repro.supervisor import (
+    BUNDLE_SCHEMA,
+    ERROR_CRASH,
+    ERROR_DEADLINE,
+    ERROR_DETERMINISTIC,
+    ERROR_TRANSIENT,
+    SupervisorPolicy,
+    SupervisorStats,
+    supervised_map,
+    traced_call,
+    write_poison_bundle,
+)
+
+# ---------------------------------------------------------------------------
+# worker-side task functions (module level: they cross the pickle boundary)
+# ---------------------------------------------------------------------------
+
+
+def _faulty_task(task):
+    """Interpret one (action, arg) task tuple inside a pool worker.
+
+    * ``("ok", x)`` — return ``x * 2``.
+    * ``("sleep-ok", seconds)`` — sleep, then return ``"slept"``.
+    * ``("die", sentinel)`` — SIGKILL this worker; if ``sentinel`` names
+      a file, create it first and only die when it didn't exist yet
+      (crash exactly once, succeed on retry).
+    * ``("transient", sentinel)`` — raise :class:`TransientCellError`
+      until the sentinel exists.
+    * ``("boom", msg)`` — always raise ``ValueError(msg)`` (deterministic).
+    * ``("hang", seconds)`` — sleep far past any deadline.
+    """
+    action, arg = task
+    if action == "ok":
+        return arg * 2
+    if action == "sleep-ok":
+        time.sleep(arg)
+        return "slept"
+    if action == "die":
+        if arg:
+            if os.path.exists(arg):
+                return "survived"
+            with open(arg, "w") as fh:
+                fh.write("crashed once\n")
+        time.sleep(0.3)  # stay alive long enough to be observed running
+        os.kill(os.getpid(), signal.SIGKILL)
+    if action == "transient":
+        if arg and os.path.exists(arg):
+            return "recovered"
+        if arg:
+            with open(arg, "w") as fh:
+                fh.write("failed once\n")
+        raise TransientCellError("simulated flaky infrastructure")
+    if action == "boom":
+        raise ValueError(arg)
+    if action == "hang":
+        time.sleep(arg)
+        return "woke"
+    raise AssertionError(f"unknown action {action!r}")
+
+
+def _describe(task):
+    return {"kind": "test-task", "action": task[0]}
+
+
+# ---------------------------------------------------------------------------
+# policy / primitives
+# ---------------------------------------------------------------------------
+
+
+class TestPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = SupervisorPolicy(backoff_base=0.1, backoff_max=0.5)
+        assert policy.backoff(0) == 0.0
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+        assert policy.backoff(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff(10) == pytest.approx(0.5)
+
+    def test_stats_merge_and_any_recovery(self):
+        a = SupervisorStats(retries=1, pool_rebuilds=2)
+        b = SupervisorStats(poison_cells=3, resumed_cells=4)
+        a.merge(b)
+        assert a.as_dict() == {
+            "retries": 1,
+            "pool_rebuilds": 2,
+            "poison_cells": 3,
+            "deadline_kills": 0,
+            "resumed_cells": 4,
+        }
+        assert a.any_recovery
+        assert not SupervisorStats().any_recovery
+
+    def test_traced_call_classifies_failures(self):
+        value, error, wall, kind = traced_call(_faulty_task, ("ok", 21))
+        assert (value, error, kind) == (42, None, None)
+        assert wall >= 0.0
+        _, error, _, kind = traced_call(_faulty_task, ("boom", "broken"))
+        assert kind == ERROR_DETERMINISTIC
+        assert "ValueError: broken" in error
+        _, error, _, kind = traced_call(_faulty_task, ("transient", ""))
+        assert kind == ERROR_TRANSIENT
+        assert "TransientCellError" in error
+
+
+class TestPoisonBundle:
+    def test_bundle_atomic_stable_and_replayable(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        path1 = write_poison_bundle(
+            qdir, ("boom", "x"), "ValueError: x", 2,
+            describe_task=_describe, label="boom-cell",
+        )
+        path2 = write_poison_bundle(
+            qdir, ("boom", "x"), "ValueError: x\nmore detail", 3,
+            describe_task=_describe, label="boom-cell",
+        )
+        assert path1 == path2  # stable name → overwrite, not accumulate
+        assert list(qdir.glob("*.tmp")) == []
+        bundle = json.loads(path1.read_text())
+        assert bundle["schema"] == BUNDLE_SCHEMA
+        assert bundle["kind"] == "test-task"
+        assert bundle["attempts"] == 3
+        assert bundle["label"] == "boom-cell"
+
+    def test_opaque_bundle_without_describer(self, tmp_path):
+        path = write_poison_bundle(tmp_path, ("boom", "x"), "err", 1)
+        bundle = json.loads(path.read_text())
+        assert bundle["kind"] == "opaque"
+        assert "boom" in bundle["repr"]
+
+
+# ---------------------------------------------------------------------------
+# supervised_map — serial path
+# ---------------------------------------------------------------------------
+
+
+class TestSerialSupervision:
+    def test_transient_failure_retried_to_success(self, tmp_path):
+        sentinel = str(tmp_path / "flaky.sentinel")
+        stats = SupervisorStats()
+        outcomes, mode = supervised_map(
+            _faulty_task,
+            [("ok", 1), ("transient", sentinel)],
+            workers=1,
+            policy=SupervisorPolicy(retries=2, backoff_base=0.001),
+            stats=stats,
+        )
+        assert mode == "serial"
+        assert [out.value for out in outcomes] == [2, "recovered"]
+        assert outcomes[1].attempts == 2
+        assert stats.retries == 1
+        assert stats.poison_cells == 0
+
+    def test_deterministic_failure_poisons_without_burning_retries(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        stats = SupervisorStats()
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("boom", "same message every time")],
+            workers=1,
+            policy=SupervisorPolicy(
+                retries=10,  # would retry 10x; poison detection stops at 2
+                backoff_base=0.001,
+                max_identical_failures=2,
+                quarantine_dir=qdir,
+            ),
+            stats=stats,
+            describe_task=_describe,
+        )
+        out = outcomes[0]
+        assert not out.ok
+        assert out.attempts == 2  # not 11
+        assert out.error_kind == ERROR_DETERMINISTIC
+        assert "poison: quarantined after 2 identical failures" in out.error
+        assert stats.poison_cells == 1
+        bundles = list(qdir.glob("poison-*.json"))
+        assert len(bundles) == 1
+        assert json.loads(bundles[0].read_text())["schema"] == BUNDLE_SCHEMA
+
+    def test_retries_zero_is_single_shot(self):
+        stats = SupervisorStats()
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("boom", "nope")],
+            workers=1,
+            policy=SupervisorPolicy(retries=0),
+            stats=stats,
+        )
+        assert outcomes[0].attempts == 1
+        assert stats.retries == 0
+
+
+# ---------------------------------------------------------------------------
+# supervised_map — parallel path with real faults
+# ---------------------------------------------------------------------------
+
+
+class TestParallelSupervision:
+    def test_sigkilled_worker_spares_siblings_and_retries(self, tmp_path):
+        """A SIGKILL'd worker fails only its own cell; the rebuilt pool
+        re-runs it and every sibling completes untouched."""
+        sentinel = str(tmp_path / "crash.sentinel")
+        stats = SupervisorStats()
+        tasks = [("ok", 1), ("die", sentinel), ("ok", 2), ("ok", 3)]
+        outcomes, mode = supervised_map(
+            _faulty_task,
+            tasks,
+            workers=2,
+            policy=SupervisorPolicy(retries=2, backoff_base=0.001),
+            stats=stats,
+        )
+        assert mode == "parallel"
+        assert [out.ok for out in outcomes] == [True] * 4
+        assert [out.value for out in outcomes] == [2, "survived", 4, 6]
+        assert stats.pool_rebuilds >= 1
+        crashed = outcomes[1]
+        assert crashed.attempts >= 2  # the kill charged a real attempt
+
+    def test_crash_blast_radius_with_retries_disabled(self):
+        """Satellite (a): even single-shot, a dead worker fails only the
+        cell it was running — with the broken-pool error preserved —
+        while queued siblings are resubmitted and complete."""
+        stats = SupervisorStats()
+        tasks = [("die", ""), ("ok", 1), ("ok", 2), ("ok", 3), ("ok", 4)]
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            tasks,
+            workers=2,
+            policy=SupervisorPolicy(retries=0),
+            stats=stats,
+        )
+        assert not outcomes[0].ok
+        assert outcomes[0].error_kind == ERROR_CRASH
+        assert "BrokenProcessPool" in outcomes[0].error
+        assert "died mid-cell" in outcomes[0].error
+        assert [out.ok for out in outcomes[1:]] == [True] * 4
+        assert [out.value for out in outcomes[1:]] == [2, 4, 6, 8]
+        assert stats.pool_rebuilds >= 1
+
+    def test_transient_failures_retry_in_parallel(self, tmp_path):
+        sentinel = str(tmp_path / "flaky.sentinel")
+        stats = SupervisorStats()
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("transient", sentinel), ("ok", 5), ("ok", 6)],
+            workers=2,
+            policy=SupervisorPolicy(retries=2, backoff_base=0.001),
+            stats=stats,
+        )
+        assert [out.ok for out in outcomes] == [True] * 3
+        assert outcomes[0].value == "recovered"
+        assert outcomes[0].error_kind is None
+        assert stats.retries >= 1
+
+    def test_hung_worker_killed_at_deadline(self):
+        """A cell that wedges its worker is killed at the wall-clock
+        deadline and reported as such; quick siblings still land."""
+        stats = SupervisorStats()
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("hang", 60.0), ("ok", 1), ("ok", 2)],
+            workers=2,
+            policy=SupervisorPolicy(retries=0, deadline_seconds=0.6),
+            stats=stats,
+        )
+        assert not outcomes[0].ok
+        assert outcomes[0].error_kind == ERROR_DEADLINE
+        assert "wall-clock budget" in outcomes[0].error
+        assert stats.deadline_kills == 1
+        assert [out.ok for out in outcomes[1:]] == [True, True]
+
+    def test_parallel_poison_quarantined_once(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        stats = SupervisorStats()
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("boom", "deterministic bug"), ("ok", 7)],
+            workers=2,
+            policy=SupervisorPolicy(
+                retries=5,
+                backoff_base=0.001,
+                max_identical_failures=2,
+                quarantine_dir=qdir,
+            ),
+            stats=stats,
+            describe_task=_describe,
+        )
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 2
+        assert outcomes[1].ok
+        assert stats.poison_cells == 1
+        assert len(list(qdir.glob("poison-*.json"))) == 1
+
+    def test_on_outcome_fires_once_per_task(self):
+        seen = {}
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("ok", i) for i in range(5)],
+            workers=2,
+            on_outcome=lambda i, out: seen.setdefault(i, out),
+        )
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+        assert all(seen[i].value == i * 2 for i in range(5))

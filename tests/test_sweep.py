@@ -2,7 +2,11 @@
 
 Covers the concurrency bugs this layer depends on (atomic disk-cache
 publication, corrupt-entry unlink races, memory-cache keying by cache
-dir), serial/parallel bit-identity, and the bench snapshot schema.
+dir), serial/parallel bit-identity, the bench snapshot schema, and the
+crash-tolerance story: supervised recovery from SIGKILL'd workers and
+transient failures with results field-identical to serial execution,
+journaled checkpoint/resume with zero recompute, and graceful partial
+degradation of the figure drivers.
 """
 
 from __future__ import annotations
@@ -11,15 +15,19 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import signal
+import time
 
 import pytest
 
 from repro import sweep
-from repro.errors import SimulationIncompleteError, SweepError
+from repro.errors import SimulationIncompleteError, SweepError, TransientCellError
 from repro.experiments import common, fig4
+from repro.journal import RunJournal, journal_dir, list_runs
 from repro.sim.config import GPUThreading, SafetyMode
 from repro.sim.engine import Engine
 from repro.sim.runner import run_single
+from repro.supervisor import SupervisorPolicy
 
 BFS_ARGS = ("bfs", SafetyMode.ATS_ONLY, GPUThreading.MODERATELY)
 SCALE = 0.05
@@ -245,6 +253,356 @@ class TestChaosCampaignParallel:
         parallel = run_chaos_campaign(workers=2, **kwargs)
         assert serial.signature() == parallel.signature()
         assert parallel.ok
+
+
+# ---------------------------------------------------------------------------
+# crash tolerance: injected worker faults, end to end through run_sweep
+# ---------------------------------------------------------------------------
+
+_REAL_RUN_SINGLE = run_single
+#: safety.value -> ("die" | "transient", sentinel path). Module-level so
+#: pool workers inherit it (and the monkeypatched entry points) at fork.
+_FAULT_PLAN: dict = {}
+
+
+def _faulting_run_single(workload, safety, threading, **kwargs):
+    """run_single wrapper that injects one host-side fault per sentinel.
+
+    ``die`` SIGKILLs the worker process mid-cell (the OOM-killer story);
+    ``transient`` raises :class:`TransientCellError` once. Either way the
+    sentinel file makes the retry succeed, so the sweep must complete
+    with results bit-identical to an undisturbed serial run.
+    """
+    plan = _FAULT_PLAN.get(safety.value)
+    if plan:
+        action, sentinel = plan
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w") as fh:
+                fh.write(action)
+            if action == "die":
+                time.sleep(0.3)  # stay visible to the running-state sampler
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise TransientCellError(f"injected transient failure for {workload}")
+    return _REAL_RUN_SINGLE(workload, safety, threading, **kwargs)
+
+
+class TestCrashTolerantSweep:
+    def test_sigkill_plus_transient_still_matches_serial(self, tmp_path, monkeypatch):
+        """One SIGKILL'd worker and one transient failure: every cell
+        completes and the report is field-identical to serial."""
+        cells = fig4.grid(
+            GPUThreading.MODERATELY, workloads=["bfs"], ops_scale=SCALE
+        )
+        monkeypatch.setattr(common, "run_single", _faulting_run_single)
+        monkeypatch.setattr(sweep, "run_single", _faulting_run_single)
+        monkeypatch.setitem(
+            _FAULT_PLAN,
+            SafetyMode.BC_BCC.value,
+            ("die", str(tmp_path / "die.sentinel")),
+        )
+        monkeypatch.setitem(
+            _FAULT_PLAN,
+            SafetyMode.CAPI_LIKE.value,
+            ("transient", str(tmp_path / "flaky.sentinel")),
+        )
+        report = sweep.run_sweep(cells, workers=2)
+        assert report.ok, report.failures()
+        assert report.stats.pool_rebuilds >= 1
+        assert report.stats.retries >= 1
+        assert os.path.exists(tmp_path / "die.sentinel")
+        assert os.path.exists(tmp_path / "flaky.sentinel")
+        # The sentinels now exist, so the serial reference runs clean.
+        _serial, mismatches = sweep.verify_identical(cells, report)
+        assert mismatches == []
+        rendered = report.render()
+        assert "pool_rebuilds" in rendered and "retries" in rendered
+
+    def test_poison_cell_quarantined_with_replayable_bundle(self, tmp_path):
+        """A deterministically failing cell quarantines after N identical
+        failures; its bundle replays through the CLI."""
+        from repro.cli import main
+
+        cells = [_bfs_cell(), _bfs_cell(workload="no-such-workload")]
+        report = sweep.run_sweep(
+            cells,
+            workers=1,
+            policy=SupervisorPolicy(
+                retries=5, backoff_base=0.001, max_identical_failures=2
+            ),
+        )
+        bad = report.outcomes[1]
+        assert not bad.ok and bad.attempts == 2
+        assert "poison" in bad.error
+        qdir = common._cache_dir() / "quarantine"
+        bundles = list(qdir.glob("poison-*.json"))
+        assert len(bundles) == 1
+        bundle = json.loads(bundles[0].read_text())
+        assert bundle["kind"] == "sweep"
+        assert bundle["cell"]["workload"] == "no-such-workload"
+        # Replaying reproduces the deterministic failure in-process.
+        with pytest.raises(Exception, match="no-such-workload"):
+            main(["replay-cell", str(bundles[0])])
+
+    def test_replay_cell_roundtrip_on_healthy_bundle(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.supervisor import write_poison_bundle
+
+        cell = _bfs_cell()
+        path = write_poison_bundle(
+            tmp_path,
+            None,
+            "OOMKilled (not reproducible in-process)",
+            3,
+            describe_task=lambda _t: {"kind": "sweep", "cell": cell.to_dict()},
+            label=cell.label,
+        )
+        assert main(["replay-cell", str(path), "--json"]) == 0
+        out = capsys.readouterr()
+        payload = json.loads(out.out)
+        assert payload["workload"] == "bfs"
+        assert "did not reproduce" in out.err
+
+
+# ---------------------------------------------------------------------------
+# journaled checkpoint / resume
+# ---------------------------------------------------------------------------
+
+
+class TestJournalResume:
+    def test_resume_executes_zero_completed_cells(self, monkeypatch):
+        cells = fig4.grid(
+            GPUThreading.MODERATELY, workloads=["bfs"], ops_scale=SCALE
+        )
+        with RunJournal.create("test-resume") as journal:
+            first = sweep.run_sweep(cells[:2], workers=1, journal=journal)
+        assert first.ok and first.resumed_cells == 0
+
+        executed = []
+        real_fan_out = sweep.fan_out
+
+        def spying_fan_out(fn, tasks, **kwargs):
+            executed.extend(task[0].label for task in tasks)
+            return real_fan_out(fn, tasks, **kwargs)
+
+        monkeypatch.setattr(sweep, "fan_out", spying_fan_out)
+        common.clear_cache(disk=True)  # journal, not cache, must rehydrate
+        with RunJournal.open("test-resume") as journal:
+            resumed = sweep.run_sweep(cells, workers=1, journal=journal)
+        assert resumed.ok
+        assert resumed.resumed_cells == 2
+        assert resumed.stats.resumed_cells == 2
+        assert {o.cell.label for o in resumed.outcomes if o.resumed} == {
+            cell.label for cell in cells[:2]
+        }
+        assert len(executed) == len(cells) - 2  # zero recompute of completed
+        assert "journal" in resumed.render()
+        # Resume is invisible in the data: bit-identical to serial fresh.
+        _serial, mismatches = sweep.verify_identical(cells, resumed)
+        assert mismatches == []
+
+    def test_trace_cells_never_resume(self):
+        traced = _bfs_cell(record_border=True)
+        with RunJournal.create("test-trace") as journal:
+            first = sweep.run_sweep([traced], workers=1, journal=journal)
+            assert first.ok
+            again = sweep.run_sweep([traced], workers=1, journal=journal)
+        assert again.resumed_cells == 0  # payload deliberately not persisted
+        assert again.ok
+
+    def test_failed_entries_reexecute_on_resume(self):
+        bad = _bfs_cell(workload="no-such-workload")
+        with RunJournal.create("test-failed") as journal:
+            first = sweep.run_sweep(
+                [bad], workers=1, journal=journal,
+                policy=SupervisorPolicy(retries=0),
+            )
+            assert not first.ok
+            assert journal.completed(bad.journal_key()) is None
+            again = sweep.run_sweep(
+                [bad], workers=1, journal=journal,
+                policy=SupervisorPolicy(retries=0),
+            )
+        assert again.resumed_cells == 0  # failures are never resumable
+
+    def test_journal_lifecycle_and_listing(self, tmp_path):
+        with RunJournal.create("run-a") as journal:
+            journal.record("k", {"ok": True, "result": {}})
+        with pytest.raises(FileExistsError, match="resume"):
+            RunJournal.create("run-a")
+        with pytest.raises(FileNotFoundError, match="run-a"):
+            RunJournal.open("no-such-run", create=False)
+        runs = list_runs()
+        assert "run-a" in runs
+        assert runs["run-a"].parent == journal_dir()
+
+    def test_torn_tail_tolerated(self):
+        with RunJournal.create("torn") as journal:
+            journal.record("good", {"ok": True, "result": {}})
+            path = journal.path
+        with open(path, "a") as fh:
+            fh.write('{"key": "torn", "ok": tr')  # killed mid-write
+        reopened = RunJournal.open("torn")
+        try:
+            assert reopened.completed("good") is not None
+            assert "torn" not in reopened
+        finally:
+            reopened.close()
+
+
+class TestJournalProperties:
+    def test_replay_idempotent_under_duplicate_appends(self):
+        """Property: reloading a journal with arbitrary duplicate appends
+        recovers exactly the last-wins state, replay after replay."""
+        import tempfile
+        from pathlib import Path
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            entries=st.lists(
+                st.tuples(st.sampled_from("abcd"), st.booleans()), max_size=30
+            )
+        )
+        @settings(max_examples=40, deadline=None)
+        def check(entries):
+            with tempfile.TemporaryDirectory() as tmp:
+                directory = Path(tmp)
+                with RunJournal.create("prop", directory) as journal:
+                    for key, ok in entries:
+                        journal.record(
+                            key, {"ok": ok, "result": {"v": 1} if ok else None}
+                        )
+                expected = {}
+                for key, ok in entries:
+                    expected[key] = ok  # last entry per key wins
+                reloaded = RunJournal.open("prop", directory)
+                assert set(reloaded.completed_keys()) == {
+                    k for k, ok in expected.items() if ok
+                }
+                # Appending every entry again must not change the state.
+                for key, ok in entries:
+                    reloaded.record(
+                        key, {"ok": ok, "result": {"v": 1} if ok else None}
+                    )
+                reloaded.close()
+                again = RunJournal.open("prop", directory)
+                assert set(again.completed_keys()) == {
+                    k for k, ok in expected.items() if ok
+                }
+                assert len(again) == len(expected)
+                again.close()
+
+        check()
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation: partial results
+# ---------------------------------------------------------------------------
+
+
+class TestGracefulDegradation:
+    def test_sweep_error_carries_surviving_outcomes(self):
+        cells = [_bfs_cell(), _bfs_cell(workload="no-such-workload")]
+        report = sweep.run_sweep(cells, workers=1)
+        with pytest.raises(SweepError) as exc_info:
+            report.raise_failures()
+        err = exc_info.value
+        assert err.outcomes is not None
+        surviving = [out for out in err.outcomes if out.ok]
+        assert len(surviving) == 1
+        assert surviving[0].result is not None
+
+    def test_partial_results_and_completion_rate(self):
+        cells = [_bfs_cell(), _bfs_cell(workload="no-such-workload")]
+        report = sweep.run_sweep(cells, workers=1)
+        pairs = report.partial_results()
+        assert [cell.workload for cell, _res in pairs] == ["bfs"]
+        assert report.completion_rate == pytest.approx(0.5)
+        assert "completion 50%" in report.render()
+
+    def test_fig4_allow_partial_renders_gaps(self, monkeypatch):
+        def failing_run_single(workload, safety, threading, **kwargs):
+            if workload == "hotspot":
+                raise ValueError("injected driver failure")
+            return _REAL_RUN_SINGLE(workload, safety, threading, **kwargs)
+
+        monkeypatch.setattr(common, "run_single", failing_run_single)
+        kwargs = dict(workloads=["bfs", "hotspot"], ops_scale=SCALE, workers=1)
+        with pytest.raises(ValueError):
+            fig4.run(GPUThreading.MODERATELY, **kwargs)
+        result = fig4.run(GPUThreading.MODERATELY, allow_partial=True, **kwargs)
+        assert not result.complete
+        assert result.overheads[SafetyMode.BC_BCC]["hotspot"] is None
+        assert result.overheads[SafetyMode.BC_BCC]["bfs"] is not None
+        assert result.geomean(SafetyMode.BC_BCC) is not None  # survivors only
+        rendered = result.render()
+        assert "—" in rendered and "PARTIAL" in rendered
+
+    def test_prewarm_allow_partial_does_not_raise(self):
+        cells = [_bfs_cell(), _bfs_cell(workload="no-such-workload")]
+        with pytest.raises(SweepError):
+            sweep.prewarm(cells, workers=1)
+        report = sweep.prewarm(cells, workers=1, allow_partial=True)
+        assert report.completion_rate == pytest.approx(0.5)
+
+    def test_write_bench_atomic_with_supervisor_counters(self, tmp_path):
+        report = sweep.run_sweep([_bfs_cell()], workers=1)
+        out = tmp_path / "bench" / "BENCH_sweep.json"
+        payload = sweep.write_bench(out, report, ["fig4"])
+        assert list(out.parent.glob("*.tmp")) == []
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert on_disk["completion_rate"] == 1.0
+        assert on_disk["supervisor"] == {
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "poison_cells": 0,
+            "deadline_kills": 0,
+            "resumed_cells": 0,
+        }
+        assert on_disk["cells_detail"][0]["attempts"] == 1
+        assert on_disk["cells_detail"][0]["resumed"] is False
+
+
+class TestChaosJournal:
+    def test_chaos_result_dict_round_trip(self):
+        from repro.faults import FaultKind
+        from repro.sim.runner import (
+            chaos_result_from_dict,
+            chaos_result_to_dict,
+            run_chaos_single,
+        )
+
+        run = run_chaos_single("bfs", [FaultKind.DROP], ops_scale=0.1)
+        clone = chaos_result_from_dict(chaos_result_to_dict(run))
+        assert chaos_result_to_dict(clone) == chaos_result_to_dict(run)
+        assert clone.workload == run.workload
+        assert clone.plan_signature == run.plan_signature
+
+    def test_chaos_campaign_resumes_signature_identical(self, monkeypatch):
+        from repro.faults import FaultKind
+        from repro.sim import runner
+
+        kwargs = dict(workloads=["bfs"], kinds=[FaultKind.DROP], ops_scale=0.1)
+        with RunJournal.create("chaos-resume") as journal:
+            first = runner.run_chaos_campaign(workers=1, journal=journal, **kwargs)
+
+        executed = []
+        real_cell = runner._chaos_cell
+
+        def spying_cell(cell):
+            executed.append(cell)
+            return real_cell(cell)
+
+        monkeypatch.setattr(runner, "_chaos_cell", spying_cell)
+        with RunJournal.open("chaos-resume") as journal:
+            resumed = runner.run_chaos_campaign(
+                workers=1, journal=journal, **kwargs
+            )
+        assert executed == []  # every cell rehydrated from the journal
+        assert resumed.signature() == first.signature()
+        assert resumed.ok == first.ok
 
 
 class TestZeroTickGuard:

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""CI smoke test: interrupt a journaled sweep, resume, prove zero rework.
+
+Drives the real CLI end to end through the crash-tolerance story:
+
+1. Start a 2-worker journaled sweep (``--run-id``) in a subprocess with
+   a cold, private cache dir.
+2. Poll the run journal until a few cells have checkpointed, then
+   deliver SIGTERM mid-run. The CLI must exit 130 with a resume hint.
+3. Wipe the result cache (keeping the journal) so resumed results can
+   only come from the journal, then rerun with ``--resume --verify``.
+4. Fail unless (a) every journal-complete cell was rehydrated rather
+   than re-executed (``supervisor.resumed_cells`` in the bench snapshot
+   equals the checkpointed count), (b) the resumed report is complete,
+   and (c) the serial re-verification found zero field-level mismatches.
+
+If the first run finishes before the signal lands (fast machine), the
+script still verifies that resuming a *finished* run re-executes
+nothing, and says so — that degraded pass keeps CI deterministic.
+
+Usage: python tools/interrupted_sweep_smoke.py [--keep-dir]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+RUN_ID = "smoke"
+SWEEP_ARGS = [
+    sys.executable,
+    "-m",
+    "repro.cli",
+    "sweep",
+    "--grid",
+    "fig4",
+    "--workloads",
+    "bfs",
+    "hotspot",
+    "--quick",
+    "--workers",
+    "2",
+]
+MIN_CHECKPOINTS = 3  # interrupt only after this many cells journaled
+POLL_INTERVAL = 0.1
+INTERRUPT_TIMEOUT = 300.0
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py39 compat
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def journal_completed(path: Path) -> int:
+    """Completed-cell count in a journal, deduped last-wins like the lib."""
+    if not path.exists():
+        return 0
+    entries = {}
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return 0
+    for line in lines:
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # torn tail mid-append
+        if entry.get("key") is not None:
+            entries[entry["key"]] = entry
+    return sum(1 for entry in entries.values() if entry.get("ok"))
+
+
+def run_interrupted_sweep(env: dict, journal_path: Path, bench: Path) -> int:
+    """Start the sweep, SIGTERM it mid-run; return checkpointed count."""
+    proc = subprocess.Popen(
+        SWEEP_ARGS + ["--run-id", RUN_ID, "--bench-out", str(bench)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + INTERRUPT_TIMEOUT
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        if journal_completed(journal_path) >= MIN_CHECKPOINTS:
+            proc.send_signal(signal.SIGTERM)
+            break
+        time.sleep(POLL_INTERVAL)
+    else:
+        proc.kill()
+        proc.communicate()
+        fail(f"sweep made no progress within {INTERRUPT_TIMEOUT:.0f}s")
+
+    try:
+        stdout, stderr = proc.communicate(timeout=INTERRUPT_TIMEOUT)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        fail("sweep did not unwind after SIGTERM")
+
+    completed = journal_completed(journal_path)
+    if proc.returncode == 0:
+        # The grid finished before the signal landed. Rare but possible
+        # on a fast machine; the resume-of-a-finished-run check below is
+        # still meaningful, so degrade instead of flaking.
+        print(
+            "note: sweep finished before SIGTERM landed; "
+            "verifying resume-of-completed-run instead"
+        )
+    elif proc.returncode == 130:
+        if f"--resume {RUN_ID}" not in stderr:
+            fail(f"exit 130 without a resume hint on stderr:\n{stderr}")
+        print(f"interrupted after {completed} checkpointed cell(s), exit 130")
+    else:
+        fail(
+            f"expected exit 130 (interrupted) or 0 (finished), got "
+            f"{proc.returncode}\nstdout:\n{stdout}\nstderr:\n{stderr}"
+        )
+    if completed < 1:
+        fail("no cells were checkpointed before the interrupt")
+    return completed
+
+
+def run_resume(env: dict, bench: Path, expected_resumed: int) -> None:
+    proc = subprocess.run(
+        SWEEP_ARGS
+        + ["--resume", RUN_ID, "--verify", "--bench-out", str(bench)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        fail(
+            f"resumed sweep exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    payload = json.loads(bench.read_text())
+    resumed = payload["supervisor"]["resumed_cells"]
+    if resumed != expected_resumed:
+        fail(
+            f"resume re-executed checkpointed work: expected "
+            f"{expected_resumed} resumed cell(s), bench reports {resumed}"
+        )
+    reexecuted = [
+        d["label"]
+        for d in payload["cells_detail"]
+        if d["resumed"] and d["attempts"] != 1
+    ]
+    if reexecuted:
+        fail(f"resumed cells re-executed: {reexecuted}")
+    if payload["completion_rate"] != 1.0:
+        fail(f"resumed run incomplete: {payload['completion_rate']}")
+    if payload["failures"]:
+        fail(f"resumed run reported failures: {payload['failures']}")
+    if payload["verified_identical"] is not True:
+        fail("serial re-verification of the resumed run did not pass")
+    print(
+        f"resume OK: {resumed} cell(s) from journal, "
+        f"{payload['cells']} total, serial-identical"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--keep-dir", action="store_true",
+        help="keep the scratch cache dir for inspection",
+    )
+    args = parser.parse_args()
+
+    scratch = tempfile.mkdtemp(prefix="interrupted-sweep-smoke-")
+    cache_dir = Path(scratch) / "cache"
+    env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir))
+    journal_path = cache_dir / "journals" / f"{RUN_ID}.jsonl"
+    bench = Path(scratch) / "BENCH_smoke.json"
+
+    completed = run_interrupted_sweep(env, journal_path, bench)
+
+    # Wipe cached results but keep the journal: the resumed cells below
+    # can only be served by journal rehydration, not cache hits.
+    for entry in cache_dir.glob("*.json"):
+        entry.unlink()
+
+    run_resume(env, bench, expected_resumed=completed)
+
+    if args.keep_dir:
+        print(f"scratch dir kept: {scratch}")
+    else:
+        import shutil
+
+        shutil.rmtree(scratch, ignore_errors=True)
+    print("interrupted-sweep smoke PASSED")
+
+
+if __name__ == "__main__":
+    main()
