@@ -57,6 +57,16 @@ from repro.faults import (
     FaultSpec,
     FaultyPort,
     HangingAccelerator,
+    RecordingPort,
+    ReplayBuffer,
+)
+from repro.recovery import (
+    RecoveryManager,
+    RecoveryPolicy,
+    RecoveryReport,
+    RecoveryRunResult,
+    run_recovery_campaign,
+    run_recovery_single,
 )
 from repro.sim.config import GPUThreading, SafetyMode, SystemConfig, TimingParams
 from repro.sim.runner import (
@@ -103,6 +113,12 @@ __all__ = [
     "Process",
     "ProtectionFault",
     "ProtectionTable",
+    "RecordingPort",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "RecoveryRunResult",
+    "ReplayBuffer",
     "ReproError",
     "RunJournal",
     "RunResult",
@@ -129,6 +145,8 @@ __all__ = [
     "new_run_id",
     "run_chaos_campaign",
     "run_chaos_single",
+    "run_recovery_campaign",
+    "run_recovery_single",
     "run_single",
     "run_sweep",
     "runtime_overhead",

@@ -23,6 +23,12 @@ class AcceleratorBase:
     def __init__(self, accel_id: str) -> None:
         self.accel_id = accel_id
         self.enabled = True
+        # Epoch fence (recovery subsystem): the attach epoch this device
+        # believes it is operating in. The authoritative epoch lives in
+        # the accelerator's Border Control instance; the border rejects
+        # traffic stamped with an older epoch, so a pre-reset device
+        # replaying in-flight requests cannot corrupt or leak.
+        self.epoch = 0
         self.asids: Set[int] = set()
         self.sandboxes: Dict[int, Optional[BorderControl]] = {}
 
@@ -75,6 +81,30 @@ class AcceleratorBase:
     def disable(self) -> None:
         """The OS cuts the accelerator off after a violation (§3.2.3)."""
         self.enabled = False
+
+    def enable(self) -> None:
+        """Re-admission after a quarantine ends (counterpart of
+        :meth:`disable`). Subclasses and fault-injection wrappers override
+        this to observe re-admission — the kernel calls it instead of
+        poking ``enabled`` directly."""
+        self.enabled = True
+
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt a new attach epoch (stamped on all outbound requests)."""
+        self.epoch = int(epoch)
+
+    def reset(self, epoch: int) -> None:
+        """Epoch-fenced hardware reset: drop whatever the device was
+        doing, rejoin the system at ``epoch``, and accept work again.
+        Volatile translation state is lost — post-reset accesses must
+        re-translate through the ATS, which re-inserts their permissions
+        into the (downgraded) Border Control table. Anything the
+        *pre*-reset device still replays carries the old epoch and is
+        rejected at the border."""
+        for asid in list(self.asids):
+            self.shootdown(asid)
+        self.set_epoch(epoch)
+        self.enable()
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "enabled" if self.enabled else "DISABLED"

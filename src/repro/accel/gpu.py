@@ -263,6 +263,18 @@ class GPU(AcceleratorBase):
         written = yield from self.path.flush_pages(ppns)
         return written
 
+    def reset(self, epoch: int) -> None:
+        """A hardware reset loses the device's volatile state: cached
+        lines (dirty data included) are discarded, not written back —
+        whatever the pre-reset device had queued outbound replays under
+        the old epoch and dies at the border fence."""
+        for cache in getattr(self.path, "l1_caches", []):
+            cache.invalidate_all()
+        l2 = getattr(self.path, "l2_cache", None)
+        if l2 is not None:
+            l2.invalidate_all()
+        super().reset(epoch)
+
     # -- reporting ---------------------------------------------------------
 
     @property

@@ -8,6 +8,10 @@ Subcommands:
 * ``fig4|fig5|fig6|fig7`` — regenerate a single figure.
 * ``chaos`` — run a fault-injection campaign; exits nonzero on any
   confidentiality/integrity/termination invariant violation.
+* ``recovery`` — run the violation-recovery campaign (epoch-fenced
+  reset, kernel retry, CPU fallback, violation-storm circuit breaker);
+  exits nonzero if any victim is lost, any stale-epoch traffic lands,
+  or any unaffected tenant stalls.
 * ``sweep`` — fan a figure grid out across a process pool, optionally
   verify bit-identity against serial execution, and write the
   ``BENCH_sweep.json`` perf snapshot.
@@ -15,13 +19,13 @@ Subcommands:
   in-process (no pool, no retries) so the failure surfaces directly.
 * ``workloads`` — list the available workload specs.
 
-``report``, ``export``, ``fig4``-``fig7``, ``chaos``, and ``sweep`` all
-take ``--workers N`` (``--workers 0`` = one per core). They also take
-``--run-id``/``--resume`` (journaled checkpoint/resume: an interrupted
-run exits 130 with a resume hint, and ``--resume <run-id>`` skips every
-journal-complete cell) and — except ``sweep``/``chaos`` — take
-``--allow-partial`` to render explicit gaps for failed cells instead of
-aborting.
+``report``, ``export``, ``fig4``-``fig7``, ``chaos``, ``recovery``, and
+``sweep`` all take ``--workers N`` (``--workers 0`` = one per core).
+They also take ``--run-id``/``--resume`` (journaled checkpoint/resume:
+an interrupted run exits 130 with a resume hint, and ``--resume
+<run-id>`` skips every journal-complete cell) and — except
+``sweep``/``chaos``/``recovery`` — take ``--allow-partial`` to render
+explicit gaps for failed cells instead of aborting.
 """
 
 from __future__ import annotations
@@ -303,6 +307,28 @@ def _replay_cell(
               file=sys.stderr)
         return 0 if run.ok else 1
 
+    if kind == "recovery":
+        from repro.recovery import recovery_result_to_dict, run_recovery_single
+
+        spec = bundle["cell"]
+        run = run_recovery_single(
+            spec["workload"],
+            spec["scenario"],
+            seed=spec["seed"],
+            ops_scale=spec["ops_scale"],
+        )
+        if args.json:
+            print(json.dumps(recovery_result_to_dict(run), indent=2))
+        else:
+            print(f"workload:       {run.workload}")
+            print(f"scenario:       {run.scenario}")
+            print(f"seed:           {run.seed}")
+            print(f"outcome:        {run.outcome}")
+            print(f"ok:             {run.ok}")
+        print("replay completed without error (failure did not reproduce)",
+              file=sys.stderr)
+        return 0 if run.ok else 1
+
     parser.error(f"bundle kind {kind!r} is not replayable")
     return 2  # pragma: no cover
 
@@ -360,6 +386,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="emit the invariant report as JSON")
     _add_workers(p_chaos)
     _add_journal(p_chaos, partial=False)
+
+    p_recovery = sub.add_parser(
+        "recovery",
+        help="violation-recovery campaign: epoch-fenced reset, retry, "
+        "CPU fallback, storm circuit breaker",
+    )
+    _add_common(p_recovery)
+    p_recovery.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        metavar="SCENARIO",
+        help="subset of recovery scenarios (hang rogue-write reset-replay "
+        "fallback storm); default runs all",
+    )
+    p_recovery.add_argument("--json", action="store_true",
+                            help="emit the recovery report as JSON")
+    _add_workers(p_recovery)
+    _add_journal(p_recovery, partial=False)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -529,6 +574,35 @@ def _dispatch(
         report = run_chaos_campaign(
             workloads=args.workloads,
             kinds=kinds,
+            seed=args.seed,
+            ops_scale=ops_scale,
+            quick=args.quick,
+            workers=_workers(args),
+            journal=journal,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+
+    if args.command == "recovery":
+        from repro.recovery import RECOVERY_SCENARIOS, run_recovery_campaign
+
+        scenarios = None
+        if args.scenarios:
+            unknown = [s for s in args.scenarios if s not in RECOVERY_SCENARIOS]
+            if unknown:
+                parser.error(
+                    f"unknown recovery scenario(s) {unknown}; "
+                    f"choose from {list(RECOVERY_SCENARIOS)}"
+                )
+            scenarios = args.scenarios
+        report = run_recovery_campaign(
+            workloads=args.workloads,
+            scenarios=scenarios,
             seed=args.seed,
             ops_scale=ops_scale,
             quick=args.quick,

@@ -101,6 +101,11 @@ class BorderControl:
         self.bcc: Optional[BorderControlCache] = None
         self.use_count = 0
         self.asids: Set[int] = set()
+        # Epoch fence (recovery): the current attach epoch. Every attach
+        # and every epoch-fenced reset advances it; requests stamped with
+        # an older epoch are stale replays from a pre-reset device and
+        # are rejected without touching the Protection Table.
+        self.epoch = 0
         self.violations: List[ViolationRecord] = []
         self._handlers: List[ViolationHandler] = []
         self._checks = self.stats.counter("checks")
@@ -110,6 +115,7 @@ class BorderControl:
         self._pt_accesses = self.stats.counter("pt_accesses")
         self._insertions = self.stats.counter("insertions")
         self._downgrades = self.stats.counter("downgrades")
+        self._stale_rejections = self.stats.counter("stale_epoch_rejections")
 
     # -- OS interface ------------------------------------------------------
 
@@ -126,6 +132,29 @@ class BorderControl:
         """Whether this engine is configured with a Border Control Cache
         (the cache itself exists only while a process is active)."""
         return self.bcc_config is not None
+
+    # -- epoch fence (recovery subsystem) -----------------------------------
+
+    def advance_epoch(self) -> int:
+        """Move to a new attach epoch; returns it. Called on every attach
+        and on every epoch-fenced accelerator reset — *before* the device
+        is touched, so anything the old device replays is already stale."""
+        self.epoch += 1
+        return self.epoch
+
+    def admit_epoch(self, epoch: Optional[int]) -> bool:
+        """Is traffic stamped ``epoch`` current? A single register compare
+        in hardware. ``None`` (untagged traffic, non-recovery configs) is
+        always admitted; an older epoch is a stale replay and is rejected
+        and counted."""
+        if epoch is None or epoch >= self.epoch:
+            return True
+        self._stale_rejections.inc()
+        return False
+
+    @property
+    def stale_epoch_rejections(self) -> int:
+        return self._stale_rejections.value
 
     # -- (a) process initialization ------------------------------------------
 

@@ -80,12 +80,18 @@ class BorderControlPort(MemoryPort):
         # Optional chaos hook: extra Protection-Table-fetch latency (a
         # faulty PT path can only slow the check down, never skip it).
         self.pt_fault_hook: Optional[Callable[[], int]] = None
+        # Epoch fence (recovery): where to read the issuing device's
+        # believed attach epoch. Wired by System as a callable so that a
+        # post-construction accelerator swap (the chaos harness replaces
+        # ``system.gpu``) is still observed. None leaves traffic untagged.
+        self.epoch_source: Optional[Callable[[], int]] = None
         stats = stats or StatDomain("border_port")
         self._checked = stats.counter("checked")
         self._blocked = stats.counter("blocked")
         self._timeouts = stats.counter("timeouts")
         self._retries = stats.counter("retries")
         self._abandoned = stats.counter("abandoned")
+        self._stale_rejected = stats.counter("stale_epoch_rejections")
         # Optional trace of (ppn, is_write) crossings, used by the Fig. 6
         # BCC sensitivity sweep to replay real border streams offline.
         self.ppn_recorder: Optional[list] = None
@@ -129,9 +135,24 @@ class BorderControlPort(MemoryPort):
                 yield backoff
 
     def access(
-        self, addr: int, size: int, write: bool, data: Optional[bytes] = None
+        self,
+        addr: int,
+        size: int,
+        write: bool,
+        data: Optional[bytes] = None,
+        epoch: Optional[int] = None,
     ) -> Generator:
         self._checked.inc()
+        # Epoch fence: requests stamped with a stale attach epoch are
+        # in-flight traffic from a pre-reset device; they die here — no
+        # permission lookup, no memory access, no data movement. The
+        # explicit ``epoch=`` argument lets the replay harness inject
+        # stale traffic; live traffic is stamped via ``epoch_source``.
+        if epoch is None and self.epoch_source is not None:
+            epoch = self.epoch_source()
+        if not self.bc.admit_epoch(epoch):
+            self._stale_rejected.inc()
+            return None
         if self.ppn_recorder is not None:
             self.ppn_recorder.append((addr >> PAGE_SHIFT, write))
         decision = self.bc.check(addr, write)

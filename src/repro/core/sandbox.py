@@ -65,6 +65,11 @@ class SandboxManager:
             self._sandboxes[accel_id] = sandbox
         return sandbox
 
+    def sandbox_for(self, accel_id: str) -> Optional[BorderControl]:
+        """The Border Control guarding an accelerator, or None if one was
+        never created (unlike :meth:`border_control_for`, never creates)."""
+        return self._sandboxes.get(accel_id)
+
     def on_violation(self, handler: Callable[[ViolationRecord], None]) -> None:
         """Install an OS handler on every current and future sandbox."""
         self._violation_handlers.append(handler)
@@ -77,6 +82,10 @@ class SandboxManager:
         """A process starts on an accelerator (Fig. 3a)."""
         sandbox = self.border_control_for(accel_id)
         sandbox.process_init(asid)
+        # Every attach opens a new epoch (recovery): requests still in
+        # flight from before the attach carry the old epoch and cannot
+        # leak into the new process's sandbox.
+        sandbox.advance_epoch()
         self._placements.setdefault(asid, set()).add(accel_id)
         return sandbox
 

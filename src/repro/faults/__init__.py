@@ -24,6 +24,7 @@ and the ``run_chaos_campaign`` harness in :mod:`repro.sim.runner`.
 from repro.faults.accel import HangingAccelerator
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, derive_seed
 from repro.faults.port import FaultyPort
+from repro.faults.replay import RecordingPort, ReplayBuffer
 
 __all__ = [
     "FaultKind",
@@ -31,5 +32,7 @@ __all__ = [
     "FaultSpec",
     "FaultyPort",
     "HangingAccelerator",
+    "RecordingPort",
+    "ReplayBuffer",
     "derive_seed",
 ]

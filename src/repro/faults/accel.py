@@ -66,3 +66,9 @@ class HangingAccelerator(GPU):
         every parked request drains and the kernel can terminate."""
         super().disable()
         self.release()
+
+    def reset(self, epoch: int) -> None:
+        """Epoch-fenced hardware reset also clears the wedge: the stuck
+        DMA engine's queue is flushed, so the device does not re-hang."""
+        self.release()
+        super().reset(epoch)

@@ -37,6 +37,12 @@ class FaultKind(enum.Enum):
     DUP_WRITEBACK = "dup-writeback"  # a writeback is committed twice
     DELAY = "delay"  # the response is stalled by a fixed extra latency
     ATS_FAULT = "ats-fault"  # a translation request transiently faults
+    # Recovery-campaign kinds, interpreted by the harness rather than a
+    # FaultyPort (which passes unknown kinds through untouched): a rogue
+    # device issuing border writes outside its sandbox, and a pre-reset
+    # device replaying recorded writebacks under a stale attach epoch.
+    ROGUE_WRITE = "rogue-write"
+    RESET_REPLAY = "reset-replay"
 
     @property
     def read_only(self) -> bool:

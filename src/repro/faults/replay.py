@@ -1,0 +1,61 @@
+"""Writeback recording for stale-epoch replay attacks.
+
+The epoch fence exists for one scenario: a misbehaving accelerator is
+reset mid-kernel, and the *pre*-reset device still has traffic in flight
+— queued writebacks, half-issued DMA bursts — that drains onto the
+memory path after the reset. :class:`RecordingPort` sits between the
+accelerator L2 and the border and keeps a bounded log of the write
+traffic that crossed it; the recovery harness later replays that log at
+the border **stamped with the pre-reset epoch**, modeling exactly that
+drain. Every replayed access must die at the fence
+(``border.stale_epoch_rejections``) without a permission lookup.
+
+The recorder is timing-transparent: it forwards every access unchanged
+and never perturbs results.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.mem.port import MemoryPort
+
+__all__ = ["RecordedWrite", "ReplayBuffer", "RecordingPort"]
+
+# (addr, size, data) of one write that crossed the recorder.
+RecordedWrite = Tuple[int, int, bytes]
+
+
+class ReplayBuffer:
+    """A bounded log of writes, oldest-first, for later stale replay."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self.writes: List[RecordedWrite] = []
+        self.recorded = 0  # total observed, including evicted ones
+
+    def record(self, addr: int, size: int, data: Optional[bytes]) -> None:
+        self.recorded += 1
+        self.writes.append((addr, size, bytes(data) if data else b""))
+        if len(self.writes) > self.capacity:
+            self.writes.pop(0)
+
+    def __len__(self) -> int:
+        return len(self.writes)
+
+
+class RecordingPort(MemoryPort):
+    """Transparent interposer that logs write traffic into a buffer."""
+
+    name = "recorder"
+
+    def __init__(self, downstream: MemoryPort, buffer: ReplayBuffer) -> None:
+        self.downstream = downstream
+        self.buffer = buffer
+
+    def access(
+        self, addr: int, size: int, write: bool, data: Optional[bytes] = None
+    ) -> Generator:
+        if write:
+            self.buffer.record(addr, size, data)
+        return (yield from self.downstream.access(addr, size, write, data))

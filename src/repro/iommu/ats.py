@@ -93,6 +93,12 @@ class ATS:
         # returning True makes that attempt fault transiently (a flaky
         # IOMMU link / lost completion). Retried per ``config.max_retries``.
         self.fault_injector: Optional[Callable[[], bool]] = None
+        # Epoch fence (recovery): when set, called with the requesting
+        # accelerator's id; returning False means the request was issued
+        # under a stale attach epoch (a pre-reset device still draining
+        # its queues) and the ATS refuses to translate for it.
+        self.epoch_gate: Optional[Callable[[str], bool]] = None
+        self._stale_epoch = self.stats.counter("stale_epoch_rejections")
         # In-flight page walks, keyed by (asid, vpn): concurrent requests
         # for the same translation ride the first walk instead of issuing
         # duplicates (page-walk coalescing, as hardware walkers do).
@@ -167,6 +173,12 @@ class ATS:
             # §3.2.2: the ATS checks the ASID corresponds to a process
             # running on the requesting accelerator.
             self._rejected.inc()
+            return None
+        if self.epoch_gate is not None and not self.epoch_gate(accel_id):
+            # Stale attach epoch: the device asking is pre-reset replayed
+            # state; granting it a translation would repopulate the
+            # Protection Table on its behalf mid-recovery.
+            self._stale_epoch.inc()
             return None
 
         entry = self.l2_tlb.lookup(asid, vpn)

@@ -97,10 +97,23 @@ class Kernel:
         # disabled (doubles per repeat offense). 0 keeps it disabled until
         # someone re-enables it by hand — the conservative default.
         self.quarantine_backoff_ticks: int = 0
+        # Backoff exponent ceiling: the window is
+        # backoff * (1 << min(strikes - 1, cap)) so repeat offenders pay
+        # growing but bounded penalties (SystemConfig.quarantine_backoff_cap).
+        self.quarantine_backoff_cap: int = 6
+        # Violation-storm circuit breaker: at this many strikes the device
+        # is quarantined permanently and its processes are killed — the
+        # point where "survivable sanction" becomes "stop serving this
+        # device". 0 disables the breaker (pure timed quarantine).
+        self.violation_storm_threshold: int = 0
         self._quarantine_until: Dict[str, int] = {}
         self._quarantine_strikes: Dict[str, int] = {}
         self._downgrade_count = self.stats.counter("downgrades")
         self._quarantine_count = self.stats.counter("quarantines")
+        self._permanent_quarantines = self.stats.counter("permanent_quarantines")
+        self._storm_kills = self.stats.counter("storm_kills")
+        self._readmissions = self.stats.counter("readmissions")
+        self._reset_count = self.stats.counter("resets")
         self._shootdown_count = self.stats.counter("shootdowns")
         self._fault_count = self.stats.counter("page_faults")
         self._cow_copies = self.stats.counter("cow_copies")
@@ -447,6 +460,10 @@ class Kernel:
         sandbox: Optional[BorderControl] = None
         if sandboxed:
             sandbox = self.sandboxes.attach(accel_id, proc.asid)
+            if hasattr(accel, "set_epoch"):
+                # Stamp the device with the attach epoch (recovery): the
+                # border admits only traffic carrying the current epoch.
+                accel.set_epoch(sandbox.epoch)
         proc.accelerators.add(accel_id)
         accel.attach_process(proc, sandbox)
         if accel not in self._shootdown_listeners:
@@ -529,7 +546,25 @@ class Kernel:
         for _aid, sandbox in self.sandboxes.active_sandboxes():
             if _aid == accel_id:
                 sandbox.downgrade_all()
-        window = self.quarantine_backoff_ticks * (1 << (strikes - 1))
+        # Circuit breaker: a violation storm has exhausted the kernel's
+        # patience — stop re-admitting the device and kill its processes
+        # (they can never make progress on a permanently banned device).
+        threshold = self.violation_storm_threshold
+        if threshold > 0 and strikes >= threshold:
+            self._permanent_quarantines.inc()
+            self._quarantine_until[accel_id] = -1
+            for proc in list(self.processes.values()):
+                if accel_id in proc.accelerators and proc.alive:
+                    self._storm_kills.inc()
+                    self.kill_process(
+                        proc,
+                        f"{accel_id}: violation storm "
+                        f"({strikes} strikes); accelerator permanently quarantined"
+                        + (f" — {reason}" if reason else ""),
+                    )
+            return True
+        exponent = min(strikes - 1, self.quarantine_backoff_cap)
+        window = self.quarantine_backoff_ticks * (1 << exponent)
         if window > 0:
             until = self.engine.now + window
             self._quarantine_until[accel_id] = until
@@ -552,11 +587,61 @@ class Kernel:
         self.release_quarantine(accel_id)
 
     def release_quarantine(self, accel_id: str) -> None:
-        """End a quarantine: the accelerator may accept work again."""
+        """End a quarantine: the accelerator may accept work again.
+
+        Unknown accelerators are a no-op; known ones are re-admitted via
+        :meth:`~repro.accel.base.AcceleratorBase.enable` so subclasses
+        and fault-injection wrappers observe re-admission.
+        """
         self._quarantine_until.pop(accel_id, None)
         accel = self._accels.get(accel_id)
-        if accel is not None:
+        if accel is None:
+            return
+        self._readmissions.inc()
+        if hasattr(accel, "enable"):
+            accel.enable()
+        else:
             accel.enabled = True
+
+    def reset_accelerator(self, accel_id: str) -> bool:
+        """Epoch-fenced accelerator reset (recovery subsystem).
+
+        The recovery sequence is ordered so a pre-reset device replaying
+        in-flight traffic can never slip through:
+
+        1. advance the sandbox's attach epoch *first* — from this instant
+           any request stamped with the old epoch is rejected at the
+           border and the ATS, before the device is even touched;
+        2. downgrade the sandbox (zeroed Protection Table / invalid BCC),
+           so even current-epoch traffic re-earns every permission
+           through legitimate ATS translations;
+        3. reset the device into the new epoch and lift the quarantine.
+
+        Returns ``False`` when the accelerator is unknown. Strike history
+        is deliberately kept — a device that violates again after a reset
+        escalates, it does not start over.
+        """
+        accel = self._accels.get(accel_id)
+        if accel is None:
+            return False
+        self._reset_count.inc()
+        sandbox = self.sandboxes.sandbox_for(accel_id)
+        epoch = 0
+        if sandbox is not None:
+            epoch = sandbox.advance_epoch()
+            if sandbox.active:
+                sandbox.downgrade_all()
+        self._quarantine_until.pop(accel_id, None)
+        if hasattr(accel, "reset"):
+            accel.reset(epoch)
+        else:
+            if hasattr(accel, "set_epoch"):
+                accel.set_epoch(epoch)
+            if hasattr(accel, "enable"):
+                accel.enable()
+            else:
+                accel.enabled = True
+        return True
 
     # ------------------------------------------------------------------
     # process-memory helpers (trusted kernel access, bypassing TLBs)

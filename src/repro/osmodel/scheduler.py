@@ -41,6 +41,11 @@ class RoundRobinScheduler:
         self.current: Optional[Process] = None
         self.switches = 0
         self.downgrades = 0
+        # Multi-tenant forward progress (recovery): processes whose every
+        # accelerator is quarantined are passed over instead of burning
+        # timeslices waiting on a device that cannot serve them. Counted
+        # so campaigns can assert unaffected tenants kept running.
+        self.recovery_skips = 0
 
     def add(self, proc: Process) -> None:
         if proc not in self.runnable:
@@ -77,7 +82,26 @@ class RoundRobinScheduler:
         if not self.runnable:
             return None
         if self.current in self.runnable:
-            idx = (self.runnable.index(self.current) + 1) % len(self.runnable)
+            start = (self.runnable.index(self.current) + 1) % len(self.runnable)
         else:
-            idx = 0
-        return self.runnable[idx]
+            start = 0
+        # First pass: rotate past accelerator-blocked processes so
+        # unaffected tenants keep making progress through a recovery.
+        for offset in range(len(self.runnable)):
+            proc = self.runnable[(start + offset) % len(self.runnable)]
+            if self._accel_blocked(proc):
+                self.recovery_skips += 1
+                continue
+            return proc
+        # Everyone is blocked on a quarantined device: fall back to plain
+        # rotation (scheduling one keeps the simulation advancing toward
+        # the quarantine's timed release).
+        return self.runnable[start]
+
+    def _accel_blocked(self, proc: Process) -> bool:
+        """True when every accelerator the process uses is quarantined."""
+        if not proc.accelerators:
+            return False
+        return all(
+            self.kernel.is_quarantined(accel_id) for accel_id in proc.accelerators
+        )

@@ -1,0 +1,936 @@
+"""End-to-end violation recovery — close the loop after containment.
+
+Border Control's containment story (quarantine + sandbox downgrade,
+§3.2.3/§3.2.4) leaves the interrupted workload dead in the water. This
+subsystem adds the *recover* and *degrade* stages of the pipeline:
+
+* **Epoch-fenced reset** — every attach and every reset advances the
+  sandbox's attach epoch (:meth:`BorderControl.advance_epoch`);
+  :meth:`Kernel.reset_accelerator` advances the epoch *before* touching
+  the device, so anything the pre-reset hardware still replays — queued
+  writebacks, half-issued DMA — carries a stale epoch and dies at the
+  border (``stale_epoch_rejections``) without a permission lookup.
+* **Kernel retry with CPU fallback** — :class:`RecoveryManager` resets
+  the device and relaunches the victim's interrupted kernel under a
+  bounded retry budget with exponential backoff; when the budget is
+  exhausted the kernel trace is flattened into a :class:`CPUProgram`
+  and executed on the trusted CPU — slower, but the process completes
+  instead of dying.
+* **Violation-storm circuit breaker** — ``Kernel.violation_storm_threshold``
+  escalates repeated strikes to a permanent quarantine plus
+  ``KILL_PROCESS``; the recovery loop reports those victims as
+  explicitly ``killed`` rather than lost.
+* **Multi-tenant forward progress** — an unaffected CPU tenant keeps
+  iterating through the whole recovery window; the harness asserts its
+  per-iteration slowdown stays within tolerance.
+
+The campaign (:func:`run_recovery_campaign`) sweeps scenarios —
+``hang``, ``rogue-write``, ``reset-replay``, ``storm`` — across
+workloads with per-cell sub-seeds, mirroring the chaos campaign's
+determinism contract: the same seed reproduces the same
+:meth:`RecoveryReport.signature`, serial or parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.permissions import Perm
+from repro.cpu.core import CPUProgram
+from repro.errors import AcceleratorDisabledError, AcceleratorHangError
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    HangingAccelerator,
+    RecordingPort,
+    ReplayBuffer,
+    derive_seed,
+)
+from repro.accel.gpu import GPUGeometry, KernelTrace
+from repro.mem.address import BLOCK_SIZE, PAGE_SIZE
+from repro.osmodel.kernel import ViolationPolicy
+from repro.sim.config import GPUThreading, SafetyMode, SystemConfig
+from repro.sim.runner import _SECRET, RunResult, collect_result
+from repro.sim.system import GPU_ID, System
+from repro.workloads.base import WorkloadSpec, generate_trace
+from repro.workloads.registry import get_workload
+
+__all__ = [
+    "RecoveryPolicy",
+    "RecoveryManager",
+    "RecoveryRunResult",
+    "RecoveryReport",
+    "trace_to_cpu_program",
+    "run_recovery_single",
+    "run_recovery_campaign",
+    "recovery_grid",
+    "recovery_cell_key",
+    "recovery_result_to_dict",
+    "recovery_result_from_dict",
+    "DEFAULT_RECOVERY_WORKLOADS",
+    "RECOVERY_SCENARIOS",
+]
+
+
+#: Workloads a recovery campaign sweeps by default.
+DEFAULT_RECOVERY_WORKLOADS: Tuple[str, ...] = ("backprop", "bfs")
+
+#: The disruption scenarios a campaign exercises. Each cell stages one
+#: scenario and asserts the matching end state (see EXPECTED_OUTCOMES).
+RECOVERY_SCENARIOS: Tuple[str, ...] = (
+    "hang",
+    "rogue-write",
+    "reset-replay",
+    "fallback",
+    "storm",
+)
+
+#: The outcomes each scenario is allowed to end in. ``completed`` never
+#: appears: a cell whose disruption failed to trigger tests nothing and
+#: is reported as a harness failure. ``fallback`` stages a device that
+#: re-wedges after every reset, so the retry budget must exhaust and the
+#: victim must degrade to the CPU.
+EXPECTED_OUTCOMES: Dict[str, Tuple[str, ...]] = {
+    "hang": ("retried", "fallback"),
+    "rogue-write": ("retried", "fallback"),
+    "reset-replay": ("retried", "fallback"),
+    "fallback": ("fallback",),
+    "storm": ("killed",),
+}
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How far the kernel goes to keep a victim process alive."""
+
+    max_retries: int = 3
+    retry_backoff_cycles: float = 5_000.0  # doubles per failed attempt
+    cpu_fallback: bool = True
+    cpu_op_gap_cycles: int = 2  # compute gap per fallback CPU op
+
+
+def trace_to_cpu_program(trace: KernelTrace, gap_cycles: int = 2) -> CPUProgram:
+    """Flatten a GPU kernel trace into a sequential CPU instruction stream.
+
+    The degraded path: every wavefront's operations run back-to-back on
+    one in-order core — functionally equivalent work, none of the GPU's
+    latency-hiding parallelism.
+    """
+    ops = []
+    for cu in trace.cu_wavefronts:
+        for wavefront in cu:
+            for _gap, vaddr, write in wavefront:
+                ops.append((gap_cycles, vaddr, write))
+    return CPUProgram(name=f"fallback-{trace.name}", ops=ops)
+
+
+class RecoveryManager:
+    """Drives the reset → retry → degrade sequence for one victim."""
+
+    def __init__(
+        self,
+        system: System,
+        policy: RecoveryPolicy = RecoveryPolicy(),
+        replay_hook=None,
+    ) -> None:
+        self.system = system
+        self.policy = policy
+        # Called with the pre-reset epoch right after every reset; the
+        # reset-replay scenario uses it to drain recorded writebacks at
+        # the stale epoch (all of which must die at the fence).
+        self.replay_hook = replay_hook
+        self.backoff_ticks = system.gpu_clock.cycles_to_ticks(
+            policy.retry_backoff_cycles
+        )
+        stats = system.stats.child("recovery")
+        self._attempted = stats.counter("attempted")
+        self._succeeded = stats.counter("succeeded")
+        self._fallbacks = stats.counter("fallbacks")
+        self._retries = stats.counter("retries")
+        self._recovery_ticks = stats.counter("recovery_ticks")
+        # True while a (re)launched kernel is outstanding; the harness
+        # watchdog only intervenes inside that window.
+        self.launch_active = False
+
+    # The recovery loop is a simulation generator so retries, backoff
+    # waits, and the fallback execution all consume simulated time and
+    # interleave with unaffected tenants.
+
+    def recover_g(self, proc, trace: KernelTrace):
+        """Recover one interrupted kernel; returns the outcome string:
+        ``retried`` | ``fallback`` | ``killed`` | ``failed``."""
+        system = self.system
+        engine = system.engine
+        kernel = system.kernel
+        start = engine.now
+        backoff = self.backoff_ticks
+        for attempt in range(1, self.policy.max_retries + 1):
+            if not proc.alive:
+                break
+            self._attempted.inc()
+            old_epoch = getattr(system.gpu, "epoch", 0)
+            kernel.reset_accelerator(GPU_ID)
+            if self.replay_hook is not None:
+                # The pre-reset device drains its queues *now*, under the
+                # epoch that just became stale.
+                yield from self.replay_hook(old_epoch)
+            if not proc.alive:
+                break
+            try:
+                done = system.gpu.launch(proc.asid, trace)
+            except AcceleratorDisabledError:
+                done = None
+            if done is not None:
+                self.launch_active = True
+                yield done
+                self.launch_active = False
+                if (
+                    system.gpu.enabled
+                    and not kernel.is_quarantined(GPU_ID)
+                    and proc.alive
+                ):
+                    self._succeeded.inc()
+                    self._recovery_ticks.inc(engine.now - start)
+                    return "retried"
+            if not proc.alive:
+                break
+            if attempt < self.policy.max_retries:
+                self._retries.inc()
+                if backoff:
+                    yield backoff
+                backoff *= 2
+        self._recovery_ticks.inc(engine.now - start)
+        if not proc.alive:
+            return "killed"
+        if self.policy.cpu_fallback:
+            # Degrade: the retry budget is spent; finish the work on the
+            # trusted CPU so the process completes instead of dying.
+            self._fallbacks.inc()
+            program = trace_to_cpu_program(trace, self.policy.cpu_op_gap_cycles)
+            yield from system.cpu.run_program(proc, program)
+            return "fallback"
+        return "failed"
+
+
+# ---------------------------------------------------------------------------
+# single recovery run
+# ---------------------------------------------------------------------------
+
+
+def recovery_fault_specs(scenario: str) -> List[FaultSpec]:
+    """The seeded injection rules for one scenario. ``hang`` needs none
+    (the wedge comes from :class:`HangingAccelerator`); the others drive
+    harness-interpreted kinds at dedicated sites."""
+    if scenario == "rogue-write":
+        return [FaultSpec(FaultKind.ROGUE_WRITE, "accel.rogue", 1.0, max_count=3)]
+    if scenario == "reset-replay":
+        return [
+            FaultSpec(FaultKind.RESET_REPLAY, "border.replay", 1.0, max_count=32)
+        ]
+    if scenario == "storm":
+        return [FaultSpec(FaultKind.ROGUE_WRITE, "accel.rogue", 1.0, max_count=12)]
+    return []
+
+
+@dataclass
+class RecoveryRunResult:
+    """One recovery run: measurements plus the recovery verdicts."""
+
+    workload: str
+    scenario: str
+    seed: int
+    result: RunResult
+    plan_signature: Tuple[Tuple[str, int, str], ...]
+    fault_counts: Dict[str, int]
+    trace_ops: int
+    outcome: str  # completed | retried | fallback | killed | failed
+    victim_alive: bool
+    victim_exit_reason: Optional[str]
+    rogue_writes: int
+    rogue_conf_escapes: int
+    rogue_integ_escapes: int
+    replayed: int
+    replay_commits: int
+    secret_intact: bool
+    resets: int
+    watchdog_fires: int
+    tenant_iterations: int
+    tenant_baseline_ticks: int
+    tenant_max_iteration_ticks: int
+    tenant_tolerance: float = 8.0
+
+    @property
+    def tenant_slowdown(self) -> float:
+        """Worst contended tenant iteration relative to its solo baseline."""
+        if not self.tenant_baseline_ticks:
+            return 0.0
+        return self.tenant_max_iteration_ticks / self.tenant_baseline_ticks
+
+    def invariant_failures(self) -> List[str]:
+        """Empty iff detect → contain → recover → degrade all held."""
+        failures: List[str] = []
+        if self.rogue_conf_escapes:
+            failures.append(
+                f"confidentiality: {self.rogue_conf_escapes} rogue read(s) "
+                "returned data during recovery"
+            )
+        if self.rogue_integ_escapes:
+            failures.append(
+                f"integrity: {self.rogue_integ_escapes} rogue write(s) committed"
+            )
+        if self.replay_commits:
+            failures.append(
+                f"integrity: {self.replay_commits} stale-epoch replay(s) committed"
+            )
+        if not self.secret_intact:
+            failures.append("integrity: victim page bytes changed")
+        if self.outcome == "completed":
+            failures.append(
+                f"harness: scenario {self.scenario!r} never disrupted the kernel"
+            )
+        elif self.outcome not in EXPECTED_OUTCOMES.get(self.scenario, ()):
+            failures.append(
+                f"recovery: outcome {self.outcome!r} not in "
+                f"{EXPECTED_OUTCOMES.get(self.scenario, ())} for {self.scenario!r}"
+            )
+        if self.scenario == "reset-replay" and not self.result.stale_epoch_rejections:
+            failures.append(
+                "epoch fence: no stale-epoch rejections recorded under replay"
+            )
+        if self.tenant_iterations == 0:
+            failures.append("forward progress: tenant completed no iterations")
+        elif self.tenant_slowdown > self.tenant_tolerance:
+            failures.append(
+                f"forward progress: tenant slowdown {self.tenant_slowdown:.1f}x "
+                f"exceeds {self.tenant_tolerance:.1f}x tolerance"
+            )
+        return failures
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_failures()
+
+    def signature(self) -> Tuple:
+        """Everything that must replay identically for the same seed."""
+        return (
+            self.workload,
+            self.scenario,
+            self.seed,
+            self.plan_signature,
+            self.outcome,
+            self.victim_alive,
+            self.result.ticks,
+            self.result.mem_ops,
+            self.result.blocked_ops,
+            self.result.quarantines,
+            self.result.recoveries_attempted,
+            self.result.recoveries_succeeded,
+            self.result.fallback_executions,
+            self.result.recovery_ticks,
+            self.result.stale_epoch_rejections,
+            self.rogue_writes,
+            self.rogue_conf_escapes,
+            self.rogue_integ_escapes,
+            self.replayed,
+            self.replay_commits,
+            self.secret_intact,
+            self.resets,
+            self.watchdog_fires,
+            self.tenant_iterations,
+            self.tenant_baseline_ticks,
+            self.tenant_max_iteration_ticks,
+        )
+
+
+def run_recovery_single(
+    workload: str,
+    scenario: str,
+    seed: int = 1234,
+    safety: SafetyMode = SafetyMode.BC_BCC,
+    threading: GPUThreading = GPUThreading.MODERATELY,
+    ops_scale: float = 1.0,
+    config: Optional[SystemConfig] = None,
+    workload_spec: Optional[WorkloadSpec] = None,
+    policy: Optional[RecoveryPolicy] = None,
+    watchdog_cycles: float = 50_000.0,
+    quarantine_backoff_cycles: float = 20_000.0,
+    rogue_interval_cycles: float = 250.0,
+    storm_threshold: int = 3,
+    tenant_tolerance: float = 8.0,
+    max_stalled_fires: int = 8,
+) -> RecoveryRunResult:
+    """One seeded end-to-end recovery run.
+
+    A victim process launches the workload's GPU kernel and is disrupted
+    per ``scenario``; the harness then drives the full recovery pipeline
+    — watchdog detection, quarantine containment, epoch-fenced reset,
+    bounded retry, CPU fallback or circuit-breaker kill — while a secret
+    holder (never granted to the accelerator) and an unaffected CPU
+    tenant monitor confidentiality/integrity and forward progress.
+    """
+    if scenario not in RECOVERY_SCENARIOS:
+        raise ValueError(f"unknown recovery scenario {scenario!r}")
+    if not safety.uses_border_control:
+        raise ValueError("recovery runs require a Border Control configuration")
+    workload_spec = workload_spec or get_workload(workload)
+    policy = policy or RecoveryPolicy()
+    cfg = (config or SystemConfig()).with_safety(safety).with_threading(threading)
+    system = System(cfg, violation_policy=ViolationPolicy.QUARANTINE)
+    engine = system.engine
+    kernel = system.kernel
+    ticks_of = system.gpu_clock.cycles_to_ticks
+    kernel.quarantine_backoff_ticks = ticks_of(quarantine_backoff_cycles)
+    if scenario == "storm":
+        kernel.violation_storm_threshold = storm_threshold
+
+    plan = FaultPlan(seed, recovery_fault_specs(scenario))
+    border = system.border_port
+    assert border is not None and system.gpu_l2 is not None
+
+    hang = scenario in ("hang", "reset-replay", "fallback")
+    if hang:
+        system.gpu = HangingAccelerator(
+            engine,
+            system.gpu_clock,
+            GPUGeometry(num_cus=cfg.num_cus, l1_tlb_entries=cfg.gpu_l1_tlb_entries),
+            system.gpu.path,
+            stats=system.stats.child("gpu"),
+            accel_id=GPU_ID,
+        )
+
+    replay_buffer: Optional[ReplayBuffer] = None
+    if scenario == "reset-replay":
+        replay_buffer = ReplayBuffer()
+        system.gpu_l2.downstream = RecordingPort(border, replay_buffer)
+
+    # The secret holder: a process never granted to the accelerator.
+    secret_holder = system.new_process("secret-holder")
+    secret_vaddr = kernel.mmap(secret_holder, 1, Perm.RW)
+    kernel.proc_write(secret_holder, secret_vaddr, _SECRET)
+    translation = secret_holder.page_table.translate(secret_vaddr)
+    assert translation is not None
+    secret_paddr = translation.ppn * PAGE_SIZE
+
+    # The victim: the GPU workload whose kernel gets interrupted.
+    victim = system.new_process(workload_spec.name)
+    system.attach_process(victim)
+    trace = generate_trace(
+        workload_spec, kernel, victim, threading, seed=seed, ops_scale=ops_scale
+    )
+    if hang:
+        system.gpu._ops_until_hang = max(8, trace.total_mem_ops // 3)
+
+    # The unaffected tenant: CPU-only work whose forward progress must
+    # not depend on the victim's recovery. Baseline measured solo,
+    # before any disruption exists.
+    tenant = system.new_process("tenant")
+    tenant_vaddr = kernel.mmap(tenant, 4, Perm.RW)
+    tenant_program = CPUProgram(
+        name="tenant-loop",
+        ops=CPUProgram.memset(tenant_vaddr, 4 * PAGE_SIZE, gap=4).ops
+        + CPUProgram.memscan(tenant_vaddr, 4 * PAGE_SIZE, gap=4).ops,
+    )
+    tenant_baseline = system.cpu.execute(tenant, tenant_program)
+    tenant_stats = {"iterations": 0, "max_ticks": 0}
+
+    replay_stats = {"replayed": 0, "commits": 0}
+    replay_injector = plan.for_site("border.replay")
+
+    def replay_stale(old_epoch: int):
+        """Drain the pre-reset device's recorded queue at the old epoch."""
+        writes = list(replay_buffer.writes) if replay_buffer else []
+        if not writes:
+            # Nothing crossed the border before the wedge; the queued DMA
+            # burst still exists — model it as one arbitrary stale write.
+            writes = [(secret_paddr, BLOCK_SIZE, b"\xaa" * BLOCK_SIZE)]
+        for addr, size, data in writes:
+            spec = replay_injector.draw(write=True)
+            if spec is None:
+                continue
+            replay_stats["replayed"] += 1
+            committed = yield from border.access(
+                addr,
+                size or BLOCK_SIZE,
+                True,
+                data or b"\x00" * (size or BLOCK_SIZE),
+                epoch=old_epoch,
+            )
+            if committed is not None:
+                replay_stats["commits"] += 1
+
+    def rearm_wedge(old_epoch: int):
+        # The post-reset device is still broken: it wedges again a third
+        # of the way into every relaunch, so the retry budget exhausts
+        # and recovery must degrade to the CPU.
+        system.gpu._ops_until_hang = max(8, trace.total_mem_ops // 3)
+        return
+        yield  # pragma: no cover - empty generator
+
+    post_reset_hooks = {"reset-replay": replay_stale, "fallback": rearm_wedge}
+    manager = RecoveryManager(
+        system, policy, replay_hook=post_reset_hooks.get(scenario)
+    )
+
+    resolved = [False]
+    outcome_box = ["failed"]
+    start = engine.now
+    end_time = [start]
+
+    def victim_driver():
+        try:
+            manager.launch_active = True
+            done = system.gpu.launch(victim.asid, trace)
+        except AcceleratorDisabledError:
+            done = None
+        if done is not None:
+            yield done
+        manager.launch_active = False
+        healthy = (
+            done is not None
+            and system.gpu.enabled
+            and not kernel.is_quarantined(GPU_ID)
+            and victim.alive
+        )
+        if healthy:
+            outcome_box[0] = "completed"
+        else:
+            outcome_box[0] = yield from manager.recover_g(victim, trace)
+        resolved[0] = True
+        end_time[0] = engine.now
+
+    # The rogue driver: the misbehaving device firing border requests at
+    # the secret holder's page — real violations, really sanctioned
+    # (unlike the chaos prober, this models the accelerator itself).
+    # Injections are paced by *device progress*, not wall time: one
+    # eligible shot per ``ops_step`` of retired kernel work, so short
+    # traces and long ones see proportionally timed rogue bursts.
+    rogue_stats = {"writes": 0, "conf": 0, "integ": 0}
+    rogue_injector = plan.for_site("accel.rogue")
+    rogue_poll = max(1, ticks_of(rogue_interval_cycles))
+    ops_step = max(4, trace.total_mem_ops // 8)
+    next_fire = [ops_step]
+
+    def rogue_driver():
+        while not resolved[0]:
+            yield rogue_poll
+            if resolved[0]:
+                return
+            if not system.gpu.enabled or not victim.alive:
+                continue
+            if system.gpu.mem_ops < next_fire[0]:
+                continue
+            next_fire[0] = system.gpu.mem_ops + ops_step
+            spec = rogue_injector.draw(write=True)
+            if spec is None:
+                continue
+            rogue_stats["writes"] += 1
+            data = yield from border.access(secret_paddr, BLOCK_SIZE, False)
+            if data is not None:
+                rogue_stats["conf"] += 1
+            committed = yield from border.access(
+                secret_paddr, BLOCK_SIZE, True, b"\x66" * BLOCK_SIZE
+            )
+            if committed is not None:
+                rogue_stats["integ"] += 1
+
+    def tenant_driver():
+        while not resolved[0]:
+            t0 = engine.now
+            yield from system.cpu.run_program(tenant, tenant_program)
+            elapsed = engine.now - t0
+            tenant_stats["iterations"] += 1
+            tenant_stats["max_ticks"] = max(tenant_stats["max_ticks"], elapsed)
+
+    # Progress watchdog: quarantines the device when an outstanding
+    # launch stops issuing (a wedge the violation path cannot see).
+    watchdog_ticks = max(1, ticks_of(watchdog_cycles))
+    sup = {"fires": 0, "last": -1, "stalled": 0}
+
+    def supervisor():
+        while not resolved[0]:
+            yield watchdog_ticks
+            if resolved[0]:
+                return
+            if not manager.launch_active:
+                continue
+            progress = system.gpu.mem_ops + system.gpu.blocked_ops
+            if progress != sup["last"]:
+                sup["last"] = progress
+                sup["stalled"] = 0
+                continue
+            sup["fires"] += 1
+            if kernel.quarantine_accelerator(
+                GPU_ID, "recovery watchdog: accelerator stopped making progress"
+            ):
+                continue
+            # Already quarantined yet still wedged: force the release.
+            if hasattr(system.gpu, "disable"):
+                system.gpu.disable()
+            sup["stalled"] += 1
+            if sup["stalled"] >= max_stalled_fires:
+                raise AcceleratorHangError(GPU_ID, sup["fires"])
+
+    engine.process(victim_driver(), name="recovery-victim")
+    if scenario in ("rogue-write", "storm"):
+        engine.process(rogue_driver(), name="recovery-rogue")
+    engine.process(tenant_driver(), name="recovery-tenant")
+    engine.process(supervisor(), name="recovery-supervisor")
+    engine.run()
+
+    ticks = end_time[0] - start
+    system.gpu.last_kernel_ticks = ticks
+    result = collect_result(system, workload_spec.name, trace, ticks)
+    result.faults_injected = plan.total_injected
+    result.watchdog_fires = sup["fires"]
+
+    secret_intact = system.phys.read(secret_paddr, PAGE_SIZE) == _SECRET
+    return RecoveryRunResult(
+        workload=workload_spec.name,
+        scenario=scenario,
+        seed=seed,
+        result=result,
+        plan_signature=plan.signature(),
+        fault_counts=plan.counts_by_kind(),
+        trace_ops=trace.total_mem_ops,
+        outcome=outcome_box[0],
+        victim_alive=victim.alive,
+        victim_exit_reason=victim.exit_reason,
+        rogue_writes=rogue_stats["writes"],
+        rogue_conf_escapes=rogue_stats["conf"],
+        rogue_integ_escapes=rogue_stats["integ"],
+        replayed=replay_stats["replayed"],
+        replay_commits=replay_stats["commits"],
+        secret_intact=secret_intact,
+        resets=system.stats.get("kernel.resets"),
+        watchdog_fires=sup["fires"],
+        tenant_iterations=tenant_stats["iterations"],
+        tenant_baseline_ticks=tenant_baseline,
+        tenant_max_iteration_ticks=tenant_stats["max_ticks"],
+        tenant_tolerance=tenant_tolerance,
+    )
+
+
+# ---------------------------------------------------------------------------
+# campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """A campaign's verdicts across every (workload, scenario) cell."""
+
+    seed: int
+    runs: List[RecoveryRunResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    @property
+    def stale_epoch_rejections(self) -> int:
+        return sum(run.result.stale_epoch_rejections for run in self.runs)
+
+    def invariant_failures(self) -> List[str]:
+        out: List[str] = []
+        for run in self.runs:
+            for failure in run.invariant_failures():
+                out.append(f"{run.workload} [{run.scenario}]: {failure}")
+        return out
+
+    def signature(self) -> Tuple:
+        return tuple(run.signature() for run in self.runs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "failures": self.invariant_failures(),
+            "stale_epoch_rejections": self.stale_epoch_rejections,
+            "runs": [
+                {
+                    "workload": run.workload,
+                    "scenario": run.scenario,
+                    "seed": run.seed,
+                    "ok": run.ok,
+                    "outcome": run.outcome,
+                    "victim_alive": run.victim_alive,
+                    "victim_exit_reason": run.victim_exit_reason,
+                    "recoveries_attempted": run.result.recoveries_attempted,
+                    "recoveries_succeeded": run.result.recoveries_succeeded,
+                    "fallback_executions": run.result.fallback_executions,
+                    "recovery_ticks": run.result.recovery_ticks,
+                    "stale_epoch_rejections": run.result.stale_epoch_rejections,
+                    "quarantines": run.result.quarantines,
+                    "resets": run.resets,
+                    "rogue_writes": run.rogue_writes,
+                    "replayed": run.replayed,
+                    "secret_intact": run.secret_intact,
+                    "tenant_iterations": run.tenant_iterations,
+                    "tenant_slowdown": round(run.tenant_slowdown, 3),
+                    "ticks": run.result.ticks,
+                }
+                for run in self.runs
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable recovery report."""
+        lines = [
+            f"recovery campaign (seed {self.seed}): "
+            f"{len(self.runs)} runs, {'PASS' if self.ok else 'FAIL'}",
+            f"{'workload':<12} {'scenario':<14} {'outcome':<10} {'att':>3} "
+            f"{'ok':>3} {'fb':>3} {'stale':>5} {'quar':>4} {'tenant':>7}  status",
+        ]
+        for run in self.runs:
+            lines.append(
+                f"{run.workload:<12} {run.scenario:<14} {run.outcome:<10} "
+                f"{run.result.recoveries_attempted:>3} "
+                f"{run.result.recoveries_succeeded:>3} "
+                f"{run.result.fallback_executions:>3} "
+                f"{run.result.stale_epoch_rejections:>5} "
+                f"{run.result.quarantines:>4} "
+                f"{run.tenant_slowdown:>6.1f}x  "
+                f"{'ok' if run.ok else 'FAIL'}"
+            )
+        lines.append(
+            "recovery: "
+            f"{sum(r.result.recoveries_attempted for r in self.runs)} attempts, "
+            f"{sum(r.result.recoveries_succeeded for r in self.runs)} succeeded, "
+            f"{sum(r.result.fallback_executions for r in self.runs)} CPU fallbacks, "
+            f"{self.stale_epoch_rejections} stale-epoch rejections, "
+            f"{sum(1 for r in self.runs if r.outcome == 'killed')} storm kill(s)"
+        )
+        for failure in self.invariant_failures():
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+
+def recovery_grid(
+    workloads: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+    quick: bool = False,
+) -> List[Dict[str, object]]:
+    """The campaign's declarative grid: one kwargs dict per run, each
+    sub-seeded from ``(seed, workload, scenario)`` so the report is a
+    pure function of its arguments regardless of execution order."""
+    workloads = list(workloads or DEFAULT_RECOVERY_WORKLOADS)
+    scenarios = list(scenarios or RECOVERY_SCENARIOS)
+    if quick:
+        ops_scale = min(ops_scale, 0.25)
+        workloads = workloads[:1]
+    cells: List[Dict[str, object]] = []
+    for workload in workloads:
+        for scenario in scenarios:
+            cells.append(
+                dict(
+                    workload=workload,
+                    scenario=scenario,
+                    seed=derive_seed(seed, workload, scenario),
+                    ops_scale=ops_scale,
+                )
+            )
+    return cells
+
+
+def _recovery_cell(kwargs: Dict[str, object]) -> RecoveryRunResult:
+    """Picklable worker entry point for one recovery grid cell."""
+    return run_recovery_single(**kwargs)  # type: ignore[arg-type]
+
+
+def recovery_cell_key(cell: Dict[str, object]) -> str:
+    """Stable journal/bundle key for one recovery grid cell."""
+    import hashlib
+    import json
+
+    blob = json.dumps(
+        {
+            "workload": cell["workload"],
+            "scenario": cell["scenario"],
+            "seed": cell["seed"],
+            "ops_scale": cell["ops_scale"],
+        },
+        sort_keys=True,
+    )
+    return "recovery-" + hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _recovery_cell_label(cell: Dict[str, object]) -> str:
+    return "{}[{}]".format(cell["workload"], cell["scenario"])
+
+
+def recovery_result_to_dict(run: RecoveryRunResult) -> Dict[str, object]:
+    """Lossless JSON form of one recovery run (journal checkpointing)."""
+    from repro.experiments.common import _result_to_dict  # local: avoids cycle
+
+    return {
+        "workload": run.workload,
+        "scenario": run.scenario,
+        "seed": run.seed,
+        "result": _result_to_dict(run.result),
+        "plan_signature": [list(sig) for sig in run.plan_signature],
+        "fault_counts": dict(run.fault_counts),
+        "trace_ops": run.trace_ops,
+        "outcome": run.outcome,
+        "victim_alive": run.victim_alive,
+        "victim_exit_reason": run.victim_exit_reason,
+        "rogue_writes": run.rogue_writes,
+        "rogue_conf_escapes": run.rogue_conf_escapes,
+        "rogue_integ_escapes": run.rogue_integ_escapes,
+        "replayed": run.replayed,
+        "replay_commits": run.replay_commits,
+        "secret_intact": run.secret_intact,
+        "resets": run.resets,
+        "watchdog_fires": run.watchdog_fires,
+        "tenant_iterations": run.tenant_iterations,
+        "tenant_baseline_ticks": run.tenant_baseline_ticks,
+        "tenant_max_iteration_ticks": run.tenant_max_iteration_ticks,
+        "tenant_tolerance": run.tenant_tolerance,
+    }
+
+
+def recovery_result_from_dict(data: Dict[str, object]) -> RecoveryRunResult:
+    """Inverse of :func:`recovery_result_to_dict`."""
+    from repro.experiments.common import _result_from_dict  # local: avoids cycle
+
+    return RecoveryRunResult(
+        workload=data["workload"],  # type: ignore[arg-type]
+        scenario=data["scenario"],  # type: ignore[arg-type]
+        seed=data["seed"],  # type: ignore[arg-type]
+        result=_result_from_dict(data["result"]),  # type: ignore[arg-type]
+        plan_signature=tuple(
+            tuple(sig) for sig in data["plan_signature"]  # type: ignore[union-attr]
+        ),
+        fault_counts=dict(data["fault_counts"]),  # type: ignore[arg-type]
+        trace_ops=data["trace_ops"],  # type: ignore[arg-type]
+        outcome=data["outcome"],  # type: ignore[arg-type]
+        victim_alive=data["victim_alive"],  # type: ignore[arg-type]
+        victim_exit_reason=data["victim_exit_reason"],  # type: ignore[arg-type]
+        rogue_writes=data["rogue_writes"],  # type: ignore[arg-type]
+        rogue_conf_escapes=data["rogue_conf_escapes"],  # type: ignore[arg-type]
+        rogue_integ_escapes=data["rogue_integ_escapes"],  # type: ignore[arg-type]
+        replayed=data["replayed"],  # type: ignore[arg-type]
+        replay_commits=data["replay_commits"],  # type: ignore[arg-type]
+        secret_intact=data["secret_intact"],  # type: ignore[arg-type]
+        resets=data["resets"],  # type: ignore[arg-type]
+        watchdog_fires=data["watchdog_fires"],  # type: ignore[arg-type]
+        tenant_iterations=data["tenant_iterations"],  # type: ignore[arg-type]
+        tenant_baseline_ticks=data["tenant_baseline_ticks"],  # type: ignore[arg-type]
+        tenant_max_iteration_ticks=data["tenant_max_iteration_ticks"],  # type: ignore[arg-type]
+        tenant_tolerance=data.get("tenant_tolerance", 8.0),  # type: ignore[arg-type]
+    )
+
+
+def _describe_recovery_task(cell) -> Optional[Dict[str, object]]:
+    """Repro-bundle recipe for a recovery cell (``replay-cell`` consumes it)."""
+    if not isinstance(cell, dict):
+        return None
+    return {
+        "kind": "recovery",
+        "cell": {
+            "workload": cell["workload"],
+            "scenario": cell["scenario"],
+            "seed": cell["seed"],
+            "ops_scale": cell["ops_scale"],
+        },
+    }
+
+
+def run_recovery_campaign(
+    workloads: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+    quick: bool = False,
+    config: Optional[SystemConfig] = None,
+    workers: Optional[int] = 1,
+    policy=None,
+    journal=None,
+) -> RecoveryReport:
+    """Sweep recovery scenarios across workloads; returns the report.
+
+    Mirrors :func:`repro.sim.runner.run_chaos_campaign`: per-cell
+    sub-seeding makes the report signature-identical whatever the
+    execution order or worker count; with a ``journal`` every finished
+    run is checkpointed and an interrupted campaign resumes with zero
+    re-execution. ``policy`` here is the *supervisor* policy forwarded
+    to :func:`repro.sweep.fan_out` (the recovery retry policy is a
+    per-run :class:`RecoveryPolicy`).
+    """
+    cells = recovery_grid(
+        workloads, scenarios, seed=seed, ops_scale=ops_scale, quick=quick
+    )
+    if config is not None:
+        for cell in cells:
+            cell["config"] = config
+    report = RecoveryReport(seed=seed)
+
+    runs: List[Optional[RecoveryRunResult]] = [None] * len(cells)
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        entry = journal.completed(recovery_cell_key(cell)) if journal else None
+        if entry is not None and entry.get("result") is not None:
+            runs[i] = recovery_result_from_dict(entry["result"])
+        else:
+            pending.append(i)
+
+    def record(task_index: int, ok: bool, error, wall: float, result) -> None:
+        if journal is None:
+            return
+        cell = cells[pending[task_index]]
+        journal.record(
+            recovery_cell_key(cell),
+            {
+                "label": _recovery_cell_label(cell),
+                "ok": ok,
+                "error": error,
+                "wall_seconds": round(wall, 6),
+                "cacheable": False,
+                "result": recovery_result_to_dict(result) if ok else None,
+            },
+        )
+
+    if workers is not None and workers <= 1:
+        import time as _time
+
+        for task_index, i in enumerate(pending):
+            t0 = _time.perf_counter()
+            result = _recovery_cell(cells[i])
+            runs[i] = result
+            record(task_index, True, None, _time.perf_counter() - t0, result)
+        report.runs.extend(runs)  # type: ignore[arg-type]
+        return report
+    from repro.sweep import SweepError, fan_out  # local: avoids cycle
+
+    def on_outcome(task_index: int, out) -> None:
+        record(task_index, out.ok, out.error, out.wall_seconds, out.value)
+
+    def dispatch():
+        return fan_out(
+            _recovery_cell,
+            [cells[i] for i in pending],
+            workers=workers,
+            label_of=_recovery_cell_label,
+            policy=policy,
+            describe_task=_describe_recovery_task,
+            on_outcome=on_outcome,
+        )
+
+    if pending:
+        if journal is not None:
+            with journal.signal_guard():
+                outcomes, _mode = dispatch()
+        else:
+            outcomes, _mode = dispatch()
+        for i, out in zip(pending, outcomes):
+            runs[i] = out.value
+        failures = [out.error for out in outcomes if out.error]
+        if failures:
+            raise SweepError(
+                failures, outcomes=[run for run in runs if run is not None]
+            )
+    report.runs.extend(runs)  # type: ignore[arg-type]
+    return report

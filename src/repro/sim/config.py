@@ -155,6 +155,14 @@ class SystemConfig:
     # §3.2.4 optimization: selectively flush only blocks from the affected
     # page on a downgrade instead of flushing the whole accelerator cache.
     selective_downgrade: bool = False
+    # Recovery policy knobs. The quarantine window grows exponentially
+    # per strike (1 << (strikes - 1)); the cap bounds the exponent so a
+    # long-lived system cannot overflow into a de-facto permanent ban.
+    quarantine_backoff_cap: int = 6
+    # Violation-storm circuit breaker: at this many strikes the kernel
+    # stops re-admitting the device (permanent quarantine + the attached
+    # processes are killed). 0 disables the breaker.
+    violation_storm_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.phys_mem_bytes < 64 * MIB:

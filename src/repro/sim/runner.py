@@ -90,6 +90,16 @@ class RunResult:
     retries: int = 0
     watchdog_fires: int = 0
     quarantines: int = 0
+    # Recovery bookkeeping (repro.recovery; all zero outside recovery
+    # campaigns): kernel relaunch attempts after an epoch-fenced reset,
+    # how many succeeded, CPU-fallback executions after the retry budget
+    # was exhausted, ticks spent in recovery, and stale-epoch traffic
+    # rejected at the border/ATS fence.
+    recoveries_attempted: int = 0
+    recoveries_succeeded: int = 0
+    fallback_executions: int = 0
+    recovery_ticks: int = 0
+    stale_epoch_rejections: int = 0
 
     @property
     def checks_per_cycle(self) -> float:
@@ -232,6 +242,14 @@ def collect_result(
         faults_injected=stats.total("injected") + stats.get("ats.injected_faults"),
         retries=stats.total("retries"),
         quarantines=stats.get("kernel.quarantines"),
+        recoveries_attempted=stats.get("recovery.attempted"),
+        recoveries_succeeded=stats.get("recovery.succeeded"),
+        fallback_executions=stats.get("recovery.fallbacks"),
+        recovery_ticks=stats.get("recovery.recovery_ticks"),
+        # The border engine's count is authoritative (the port's own
+        # counter mirrors it); the ATS fence rejects independently.
+        stale_epoch_rejections=(bc.stale_epoch_rejections if bc else 0)
+        + stats.get("ats.stale_epoch_rejections"),
     )
 
 

@@ -82,6 +82,8 @@ class System:
         self.kernel.downgrade_drain_ticks = self._ticks(
             config.timing.downgrade_drain_cycles
         )
+        self.kernel.quarantine_backoff_cap = config.quarantine_backoff_cap
+        self.kernel.violation_storm_threshold = config.violation_storm_threshold
         self.ats = self._build_ats()
         self.kernel.register_shootdown_listener(self.ats)
 
@@ -117,6 +119,17 @@ class System:
             stats=self.stats.child("gpu"),
             accel_id=GPU_ID,
         )
+        # Epoch fence wiring (recovery): border and ATS compare the GPU's
+        # believed attach epoch against the sandbox's authoritative one.
+        # Both hooks read ``self.gpu`` dynamically because the chaos
+        # harness replaces the GPU object after construction.
+        if self.border_port is not None:
+            self.border_port.epoch_source = lambda: self.gpu.epoch
+            self.ats.epoch_gate = (
+                lambda accel_id: accel_id != GPU_ID
+                or self.border_control is None
+                or self.gpu.epoch >= self.border_control.epoch
+            )
 
     # -- component builders ------------------------------------------------
 

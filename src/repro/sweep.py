@@ -297,6 +297,29 @@ class SweepReport:
             f"{name} {value}" for name, value in stats.items()
         )
         lines = [table, summary, supervisor]
+        # Surface recovery activity (epoch-fenced resets, retries, CPU
+        # fallbacks) whenever any cell's RunResult recorded some — quiet
+        # sweeps keep their old output.
+        recovered = [
+            out.result
+            for out in self.outcomes
+            if out.result is not None
+            and (
+                getattr(out.result, "recoveries_attempted", 0)
+                or getattr(out.result, "fallback_executions", 0)
+                or getattr(out.result, "stale_epoch_rejections", 0)
+            )
+        ]
+        if recovered:
+            lines.append(
+                "recovery: "
+                f"{sum(r.recoveries_attempted for r in recovered)} attempts, "
+                f"{sum(r.recoveries_succeeded for r in recovered)} succeeded, "
+                f"{sum(r.fallback_executions for r in recovered)} CPU fallbacks, "
+                f"{sum(r.recovery_ticks for r in recovered)} recovery ticks, "
+                f"{sum(r.stale_epoch_rejections for r in recovered)} "
+                "stale-epoch rejections"
+            )
         lines.extend(f"  FAIL {failure}" for failure in self.failures())
         return "\n".join(lines)
 

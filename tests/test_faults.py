@@ -344,6 +344,79 @@ def test_repeat_offense_doubles_the_backoff_window():
     assert system.engine.now - first_release == 2_000
 
 
+def test_timed_release_readmits_with_empty_sandbox():
+    system = make_system()
+    kernel = system.kernel
+    kernel.violation_policy = ViolationPolicy.QUARANTINE
+    kernel.quarantine_backoff_ticks = 1_000
+    proc = system.new_process("p")
+    system.attach_process(proc)
+    good_vaddr = kernel.mmap(proc, 1, Perm.RW)
+    translation = system.engine.run_process(
+        system.ats.translate(GPU_ID, proc.asid, good_vaddr >> PAGE_SHIFT)
+    )
+    assert translation is not None
+    good_paddr = translation.ppn << PAGE_SHIFT
+
+    victim = system.new_process("victim")
+    secret_vaddr = kernel.mmap(victim, 1, Perm.RW)
+    bad_paddr = victim.page_table.translate(secret_vaddr).ppn << PAGE_SHIFT
+    assert not system.border_control.check(bad_paddr, write=True).allowed
+    assert kernel.is_quarantined(GPU_ID)
+
+    # The timed release re-admits the device via enable()...
+    system.engine.run()
+    assert system.gpu.enabled
+    assert not kernel.is_quarantined(GPU_ID)
+    assert kernel.stats.get("readmissions") == 1
+    # ...but into an EMPTY sandbox: the pre-quarantine grant stays
+    # revoked until the device re-earns it through an ATS translation.
+    assert not system.border_control.check(good_paddr, write=False).allowed
+    translation = system.engine.run_process(
+        system.ats.translate(GPU_ID, proc.asid, good_vaddr >> PAGE_SHIFT)
+    )
+    assert translation is not None
+    assert system.border_control.check(good_paddr, write=False).allowed
+
+
+def test_longer_quarantine_supersedes_pending_release():
+    system = make_system()
+    system.attach_process(system.new_process("p"))
+    kernel = system.kernel
+    engine = system.engine
+    kernel.quarantine_backoff_ticks = 1_000
+    # Strike 1 at t=0 schedules a release at t=1000. A manual release at
+    # t=500 and a second strike at t=600 (2000-tick window, ends t=2600)
+    # leave the t=1000 callback stale — it must NOT cut the newer, longer
+    # quarantine short.
+    assert kernel.quarantine_accelerator(GPU_ID, "first")
+    engine.schedule(500, lambda: kernel.release_quarantine(GPU_ID))
+    engine.schedule(
+        600, lambda: kernel.quarantine_accelerator(GPU_ID, "second")
+    )
+    observed = {}
+    engine.schedule(
+        1_001,
+        lambda: observed.update(
+            enabled=system.gpu.enabled,
+            quarantined=kernel.is_quarantined(GPU_ID),
+        ),
+    )
+    engine.run()
+    assert observed == {"enabled": False, "quarantined": True}
+    assert engine.now >= 2_600
+    assert system.gpu.enabled
+    assert not kernel.is_quarantined(GPU_ID)
+
+
+def test_release_quarantine_of_unknown_accel_is_noop():
+    system = make_system()
+    kernel = system.kernel
+    kernel.release_quarantine("no-such-accel")  # must not raise
+    assert kernel.stats.get("readmissions") == 0
+    assert not kernel.is_quarantined("no-such-accel")
+
+
 # ---------------------------------------------------------------------------
 # Chaos runs: hangs cleared, invariants hold, seeds reproduce
 # ---------------------------------------------------------------------------
