@@ -104,3 +104,86 @@ def test_full_small_simulation(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.mem_ops > 0
+
+
+def test_cache_hit_service_throughput(benchmark):
+    """L1-hit servicing through the engine (the per-access fast path)."""
+    from repro.mem.cache import Cache, CacheConfig
+    from repro.mem.port import MemoryPort
+    from repro.sim.stats import StatDomain
+
+    class _ZeroPort(MemoryPort):
+        def access(self, addr, size, write, data=None):
+            return b"\x00" * size
+            yield  # pragma: no cover
+
+    engine = Engine()
+    cache = Cache(
+        engine,
+        CacheConfig("bench-l1", 16 * 1024, 4, hit_latency_ticks=1),
+        _ZeroPort(),
+        StatDomain("bench"),
+    )
+    addrs = [(i % 64) * 128 for i in range(4096)]
+
+    def run():
+        def driver():
+            for addr in addrs:
+                yield from cache.access(addr, 8, False)
+
+        engine.run_process(driver())
+
+    benchmark(run)
+
+
+def test_bandwidth_server_accounting(benchmark):
+    """Integer-picosecond reservation arithmetic on the DRAM channel."""
+    from repro.sim.clock import TICKS_PER_SECOND
+    from repro.sim.engine import BandwidthServer
+
+    engine = Engine()
+    server = BandwidthServer(engine, 180e9, TICKS_PER_SECOND)
+
+    def run():
+        for _ in range(8192):
+            server.request(128)
+
+    benchmark(run)
+
+
+def test_event_single_waiter_fast_path(benchmark):
+    """Chains of one-waiter events — the dominant Event shape on the
+    memory path (each op process is waited on by exactly one parent)."""
+
+    def run():
+        engine = Engine()
+
+        def child():
+            yield 1
+            return 42
+
+        def parent():
+            for _ in range(200):
+                yield engine.process(child())
+
+        for _ in range(10):
+            engine.process(parent())
+        engine.run()
+
+    benchmark(run)
+
+
+def test_wavefront_batched_replay(benchmark):
+    """A pure-L1-hit wavefront stream: exercises the fast-forward path in
+    GPU._run_wavefront (runs of same-latency private-cache hits collapse
+    into one engine wakeup per batch)."""
+    from repro.sim.config import GPUThreading, SafetyMode
+    from repro.sim.runner import run_single
+
+    def run():
+        return run_single(
+            "hotspot", SafetyMode.BC_BCC, GPUThreading.HIGHLY, ops_scale=0.05
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.mem_ops > 0

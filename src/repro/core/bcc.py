@@ -71,6 +71,11 @@ class BCCConfig:
         return cls(num_entries=entries, pages_per_entry=pages_per_entry)
 
 
+#: Perm is an enum, so ``Perm(x)`` always returns the same four singletons;
+#: indexing this table skips the enum-constructor call on the hot path.
+_PERM_TABLE = (Perm(0), Perm(1), Perm(2), Perm(3))
+
+
 class BorderControlCache:
     """Functional model of the BCC, backed by a Protection Table."""
 
@@ -78,6 +83,21 @@ class BorderControlCache:
         self.config = config
         # group tag -> packed 2-bit permission fields for the group's pages
         self._entries: "OrderedDict[int, int]" = OrderedDict()
+        # One-entry MRU line in front of the LRU structure: the last group
+        # touched by lookup/fill/insert. Because "last touched" is exactly
+        # the OrderedDict's end position, a lookup that hits the MRU line
+        # can skip the dict get and the (no-op) move_to_end entirely while
+        # leaving identical cache state. ``-1`` means invalid.
+        self._mru_group = -1
+        self._mru_packed = 0
+        ppe = config.pages_per_entry
+        self._ppe = ppe
+        if ppe & (ppe - 1) == 0:
+            self._group_shift: Optional[int] = ppe.bit_length() - 1
+            self._slot_mask = ppe - 1
+        else:
+            self._group_shift = None
+            self._slot_mask = 0
         stats = stats or StatDomain("bcc")
         self._hits = stats.counter("hits")
         self._misses = stats.counter("misses")
@@ -88,14 +108,18 @@ class BorderControlCache:
     # -- addressing ------------------------------------------------------------
 
     def group_of(self, ppn: int) -> int:
-        return ppn // self.config.pages_per_entry
+        if self._group_shift is not None:
+            return ppn >> self._group_shift
+        return ppn // self._ppe
 
     def _slot_of(self, ppn: int) -> int:
-        return ppn % self.config.pages_per_entry
+        if self._group_shift is not None:
+            return ppn & self._slot_mask
+        return ppn % self._ppe
 
     @staticmethod
     def _field(packed: int, slot: int) -> Perm:
-        return Perm((packed >> (2 * slot)) & 0x3)
+        return _PERM_TABLE[(packed >> (2 * slot)) & 0x3]
 
     # -- probes (no fill) -----------------------------------------------------------
 
@@ -115,15 +139,28 @@ class BorderControlCache:
         entry allocated (LRU victim dropped — entries are never dirty,
         because every change is written through).
         """
-        group = self.group_of(ppn)
+        shift = self._group_shift
+        if shift is not None:
+            group = ppn >> shift
+            slot = ppn & self._slot_mask
+        else:
+            group = ppn // self._ppe
+            slot = ppn % self._ppe
+        if group == self._mru_group:
+            # MRU hit: the group is already at the recency end, so the
+            # move_to_end would be a no-op — state is bit-identical.
+            self._hits.value += 1
+            return True, _PERM_TABLE[(self._mru_packed >> (2 * slot)) & 0x3]
         packed = self._entries.get(group)
         if packed is not None:
             self._entries.move_to_end(group)
-            self._hits.inc()
-            return True, self._field(packed, self._slot_of(ppn))
-        self._misses.inc()
+            self._hits.value += 1
+            self._mru_group = group
+            self._mru_packed = packed
+            return True, _PERM_TABLE[(packed >> (2 * slot)) & 0x3]
+        self._misses.value += 1
         packed = self._fill(group, table)
-        return False, self._field(packed, self._slot_of(ppn))
+        return False, _PERM_TABLE[(packed >> (2 * slot)) & 0x3]
 
     def insert_permission(
         self, ppn: int, perms: Perm, table: ProtectionTable
@@ -151,17 +188,23 @@ class BorderControlCache:
                 packed |= int(new) << (2 * slot)
                 self._entries[group] = packed
             self._entries.move_to_end(group)
+            self._mru_group = group
+            self._mru_packed = packed
             self._hits.inc()
         return changed
 
     def _fill(self, group: int, table: ProtectionTable) -> int:
-        self._fills.inc()
+        self._fills.value += 1
         ppe = self.config.pages_per_entry
         packed = table.read_bits(group * ppe, ppe)
         if group not in self._entries and len(self._entries) >= self.config.num_entries:
-            self._entries.popitem(last=False)
+            victim, _bits = self._entries.popitem(last=False)
+            if victim == self._mru_group:
+                self._mru_group = -1
         self._entries[group] = packed
         self._entries.move_to_end(group)
+        self._mru_group = group
+        self._mru_packed = packed
         return packed
 
     # -- downgrades -----------------------------------------------------------------
@@ -176,12 +219,15 @@ class BorderControlCache:
         if group in self._entries:
             ppe = self.config.pages_per_entry
             self._entries[group] = table.read_bits(group * ppe, ppe)
+            if group == self._mru_group:
+                self._mru_group = -1  # drop the stale MRU copy
             self._invalidations.inc()
 
     def invalidate_all(self) -> None:
         """Full invalidation (whole-table zeroing path, §3.2.4-5)."""
         self._invalidations.inc()
         self._entries.clear()
+        self._mru_group = -1
 
     # -- introspection ---------------------------------------------------------------
 

@@ -70,6 +70,23 @@ class ViolationRecord:
 
 ViolationHandler = Callable[[ViolationRecord], None]
 
+#: Interned :class:`AccessDecision` instances. The type is frozen and has
+#: only a handful of distinct values (allowed x perms x bcc_hit x oob), so
+#: the hot check path reuses singletons instead of allocating a dataclass
+#: per memory access.
+_DECISION_CACHE: dict = {}
+
+
+def _decision(
+    allowed: bool, perms: Perm, bcc_hit: bool, out_of_bounds: bool = False
+) -> AccessDecision:
+    key = (allowed, int(perms), bcc_hit, out_of_bounds)
+    cached = _DECISION_CACHE.get(key)
+    if cached is None:
+        cached = AccessDecision(allowed, perms, bcc_hit, out_of_bounds)
+        _DECISION_CACHE[key] = cached
+    return cached
+
 
 class BorderControl:
     """Sandboxes one accelerator's memory traffic."""
@@ -210,21 +227,24 @@ class BorderControl:
     def check(self, paddr: int, write: bool) -> AccessDecision:
         """Check one border crossing; blocks and notifies the OS on failure."""
         table = self._require_table()
-        self._checks.inc()
-        (self._write_checks if write else self._read_checks).inc()
+        self._checks.value += 1
+        if write:
+            self._write_checks.value += 1
+        else:
+            self._read_checks.value += 1
         ppn = paddr >> PAGE_SHIFT
         if not table.covers(ppn):
-            decision = AccessDecision(False, Perm.NONE, bcc_hit=False, out_of_bounds=True)
+            decision = _decision(False, Perm.NONE, bcc_hit=False, out_of_bounds=True)
             self._report(paddr, write, decision)
             return decision
         if self.bcc is not None:
             hit, perms = self.bcc.lookup(ppn, table)
             if not hit:
-                self._pt_accesses.inc()
+                self._pt_accesses.value += 1
         else:
             hit, perms = False, table.get(ppn)
-            self._pt_accesses.inc()
-        decision = AccessDecision(perms.allows(write), perms, bcc_hit=hit)
+            self._pt_accesses.value += 1
+        decision = _decision(perms.allows(write), perms, hit)
         if not decision.allowed:
             self._report(paddr, write, decision)
         return decision

@@ -142,7 +142,7 @@ class BorderControlPort(MemoryPort):
         data: Optional[bytes] = None,
         epoch: Optional[int] = None,
     ) -> Generator:
-        self._checked.inc()
+        self._checked.value += 1
         # Epoch fence: requests stamped with a stale attach epoch are
         # in-flight traffic from a pre-reset device; they die here — no
         # permission lookup, no memory access, no data movement. The
@@ -156,7 +156,13 @@ class BorderControlPort(MemoryPort):
         if self.ppn_recorder is not None:
             self.ppn_recorder.append((addr >> PAGE_SHIFT, write))
         decision = self.bc.check(addr, write)
-        delay = self._check_delay(decision.bcc_hit)
+        # The paper's whole point (§5.2.2): a BCC hit must be nearly free.
+        # Mirror that on the host side — a hit charges the constant BCC
+        # latency without the PT/DRAM pricing call.
+        if decision.bcc_hit:
+            delay = self.bcc_latency_ticks
+        else:
+            delay = self._check_delay(False)
         if write:
             # Writes commit only after the check passes.
             if delay:

@@ -16,7 +16,8 @@ and never perturbs results.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Generator, Optional, Tuple
 
 from repro.mem.port import MemoryPort
 
@@ -31,14 +32,14 @@ class ReplayBuffer:
 
     def __init__(self, capacity: int = 64) -> None:
         self.capacity = capacity
-        self.writes: List[RecordedWrite] = []
+        self.writes: Deque[RecordedWrite] = deque()
         self.recorded = 0  # total observed, including evicted ones
 
     def record(self, addr: int, size: int, data: Optional[bytes]) -> None:
         self.recorded += 1
         self.writes.append((addr, size, bytes(data) if data else b""))
         if len(self.writes) > self.capacity:
-            self.writes.pop(0)
+            self.writes.popleft()
 
     def __len__(self) -> int:
         return len(self.writes)

@@ -84,6 +84,19 @@ class Cache(MemoryPort):
         self.config = config
         self.name = config.name
         self.downstream = downstream
+        # Memoized geometry: block size is a power of two throughout (the
+        # tag math below relies on it), so set selection is a shift plus a
+        # modulo instead of two attribute loads and a division per access.
+        block_size = config.block_size
+        if block_size & (block_size - 1):
+            raise ConfigurationError(
+                f"{config.name}: block size {block_size} is not a power of two"
+            )
+        self._block_size = block_size
+        self._block_mask = block_size - 1
+        self._block_shift = block_size.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._hit_latency = config.hit_latency_ticks
         # Each set is an OrderedDict keyed by block address; the order is
         # recency (last item = most recently used).
         self._sets: List["OrderedDict[int, Line]"] = [
@@ -101,37 +114,68 @@ class Cache(MemoryPort):
     # -- geometry -----------------------------------------------------------
 
     def _set_for(self, block_addr: int) -> "OrderedDict[int, Line]":
-        index = (block_addr // self.config.block_size) % self.config.num_sets
+        index = (block_addr >> self._block_shift) % self._num_sets
         return self._sets[index]
 
     def lookup(self, addr: int) -> Optional[Line]:
         """Probe without any side effects (no recency update, no timing)."""
-        block_addr = addr & ~(self.config.block_size - 1)
+        block_addr = addr & ~self._block_mask
         return self._set_for(block_addr).get(block_addr)
+
+    # -- batched-replay fast path -------------------------------------------
+
+    def probe_read_hit(self, addr: int, size: int) -> Optional[Line]:
+        """Pure probe for the batched-replay fast path.
+
+        Returns the resident line when a read of ``size`` bytes at ``addr``
+        would be a plain hit, with *no* side effects — no recency touch, no
+        counters. A ``None`` return (miss, or a block-straddling access the
+        generator path must reject) leaves the cache untouched, so the
+        caller can fall back to :meth:`access` without double counting.
+        """
+        block_addr = addr & ~self._block_mask
+        if (addr - block_addr) + size > self._block_size:
+            return None
+        return self._sets[(block_addr >> self._block_shift) % self._num_sets].get(
+            block_addr
+        )
+
+    def commit_read_hit(self, line: Line) -> None:
+        """Commit the side effects of a probed read hit.
+
+        Applies exactly what the hit path of :meth:`access` applies — the
+        LRU recency touch and the hit counter — so a batched replay that
+        probed with :meth:`probe_read_hit` leaves the cache in the same
+        state the generator path would have.
+        """
+        block_addr = line.block_addr
+        self._sets[(block_addr >> self._block_shift) % self._num_sets].move_to_end(
+            block_addr
+        )
+        self._hits.value += 1
 
     # -- the port protocol -------------------------------------------------
 
     def access(
         self, addr: int, size: int, write: bool, data: Optional[bytes] = None
     ) -> Generator:
-        block_size = self.config.block_size
-        block_addr = addr & ~(block_size - 1)
+        block_addr = addr & ~self._block_mask
         offset = addr - block_addr
-        if offset + size > block_size:
+        if offset + size > self._block_size:
             raise ConfigurationError(
                 f"{self.name}: access [{addr:#x}, +{size}) straddles a block"
             )
-        yield self.config.hit_latency_ticks
+        yield self._hit_latency
 
-        cache_set = self._set_for(block_addr)
+        cache_set = self._sets[(block_addr >> self._block_shift) % self._num_sets]
         line = cache_set.get(block_addr)
         if line is not None:
             cache_set.move_to_end(block_addr)
-            self._hits.inc()
+            self._hits.value += 1
         elif write and not self.config.write_allocate:
             # Write-no-allocate (the GPU's write-through L1s): forward the
             # store downstream without filling the line here.
-            self._misses.inc()
+            self._misses.value += 1
             if data is None:
                 raise ValueError("write access requires data")
             result = yield from self.downstream.access(addr, size, True, data[:size])
@@ -145,7 +189,7 @@ class Cache(MemoryPort):
                 if line is None:
                     # The fill was blocked at a border downstream.
                     return None
-                self._hits.inc()
+                self._hits.value += 1
             else:
                 line = yield from self._fill(block_addr)
                 if line is None:
@@ -173,7 +217,7 @@ class Cache(MemoryPort):
 
     def _fill(self, block_addr: int) -> Generator:
         """Miss path: fetch the block downstream and insert it."""
-        self._misses.inc()
+        self._misses.value += 1
         done = self._engine.event()
         self._pending[block_addr] = done
         try:

@@ -55,8 +55,8 @@ class DRAM:
         Callers (caches, the IOMMU, Border Control's Protection Table
         reads) yield this delay in their simulation processes.
         """
-        (self._writes if write else self._reads).inc()
-        self._bytes.inc(nbytes)
+        (self._writes if write else self._reads).value += 1
+        self._bytes.value += nbytes
         queue_and_transfer = self._channel.request(
             nbytes + self.config.access_overhead_bytes
         )

@@ -42,6 +42,7 @@ import json
 import os
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -413,7 +414,7 @@ class _Supervisor:
         running_since: Dict[int, float] = {}
         # (due monotonic time, index) — tasks waiting out a retry backoff.
         delayed: List[Tuple[float, int]] = []
-        to_submit: List[int] = list(range(len(self.tasks)))
+        to_submit: "deque[int]" = deque(range(len(self.tasks)))
 
         def submit(index: int) -> None:
             fut = pool.submit(traced_call, self.fn, self.tasks[index])
@@ -478,7 +479,7 @@ class _Supervisor:
                         still_delayed.append((due, index))
                 delayed[:] = still_delayed
                 while to_submit:
-                    submit(to_submit.pop(0))
+                    submit(to_submit.popleft())
 
                 if not in_pool:
                     # Only backed-off tasks remain; sleep until the next one.

@@ -57,18 +57,41 @@ class TLB:
 
     def lookup(self, asid: int, vpn: int) -> Optional[TLBEntry]:
         """LRU-updating lookup; counts a hit or miss."""
-        entry = self._entries.get((asid, vpn, False))
+        entries = self._entries
         key = (asid, vpn, False)
+        entry = entries.get(key)
         if entry is None:
             # Large entries are 512-page aligned (2 MB mappings).
             key = (asid, vpn & ~0x1FF, True)
-            entry = self._entries.get(key)
-        if entry is None:
-            self._misses.inc()
-            return None
-        self._entries.move_to_end(key)
-        self._hits.inc()
+            entry = entries.get(key)
+            if entry is None:
+                self._misses.value += 1
+                return None
+        entries.move_to_end(key)
+        self._hits.value += 1
         return entry
+
+    def probe(self, asid: int, vpn: int) -> Optional[Tuple[Tuple[int, int, bool], TLBEntry]]:
+        """Side-effect-free lookup for the batched-replay fast path.
+
+        Returns ``(key, entry)`` on a hit, ``None`` on a miss — without
+        touching recency or the hit/miss counters, so a caller that falls
+        back to :meth:`lookup` after a miss does not double count.
+        """
+        key = (asid, vpn, False)
+        entry = self._entries.get(key)
+        if entry is None:
+            key = (asid, vpn & ~0x1FF, True)
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+        return key, entry
+
+    def commit_hit(self, key: Tuple[int, int, bool]) -> None:
+        """Commit the hit-path side effects of :meth:`lookup` (recency
+        touch + hit counter) for a key returned by :meth:`probe`."""
+        self._entries.move_to_end(key)
+        self._hits.value += 1
 
     def insert(self, entry: TLBEntry) -> None:
         key = self._key(entry)

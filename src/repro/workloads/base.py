@@ -28,6 +28,7 @@ L2 lines later cross the border as writebacks.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import List
 
@@ -110,10 +111,10 @@ class _AddressStream:
         self.region_start = (cu_index * region_blocks) % self.total_blocks
         self.region_blocks = region_blocks
         # Recent blocks for L1 reuse, prefilled so reuse starts immediately.
-        self.recent: List[int] = [
+        self.recent: "deque[int]" = deque(
             (self.slice_start + self.cursor + i) % self.total_blocks
             for i in range(spec.recent_window)
-        ]
+        )
         # Random per-wavefront base for the structured patterns (tiles,
         # stencil rows, diagonals, row windows). Real kernels assign each
         # wavefront its own region of the matrix/grid; deriving bases from
@@ -129,23 +130,33 @@ class _AddressStream:
         self.run_block = 0
         # stencil/diagonal/rows state
         self.step = 0
+        # Trace generation is a measurable slice of a cell's wall time, so
+        # next_address avoids per-call attribute chases: reuse thresholds
+        # are precomputed (same float arithmetic, so identical draws) and
+        # uniform draws go through Random._randbelow, which is exactly what
+        # randrange(n) calls for a positive int bound.
+        self._l1_reuse = spec.l1_reuse
+        self._reuse_cum = spec.l1_reuse + spec.l2_reuse
+        self._recent_window = spec.recent_window
+        self._randbelow = getattr(rng, "_randbelow", None) or rng.randrange
 
     def _addr(self, block_index: int) -> int:
         return self.base + (block_index % self.total_blocks) * BLOCK_SIZE
 
     def next_address(self) -> int:
-        spec = self.spec
-        draw = self.rng.random()
-        if self.recent and draw < spec.l1_reuse:
-            return self._addr(self.recent[self.rng.randrange(len(self.recent))])
-        if draw < spec.l1_reuse + spec.l2_reuse:
-            block = self.region_start + self.rng.randrange(self.region_blocks)
-            return self._addr(block)
-        block = self._next_cold_block()
-        self.recent.append(block)
-        if len(self.recent) > spec.recent_window:
-            self.recent.pop(0)
-        return self._addr(block)
+        rng = self.rng
+        recent = self.recent
+        draw = rng.random()
+        if recent and draw < self._l1_reuse:
+            block = recent[self._randbelow(len(recent))]
+        elif draw < self._reuse_cum:
+            block = self.region_start + self._randbelow(self.region_blocks)
+        else:
+            block = self._next_cold_block()
+            recent.append(block)
+            if len(recent) > self._recent_window:
+                recent.popleft()
+        return self.base + (block % self.total_blocks) * BLOCK_SIZE
 
     def _next_cold_block(self) -> int:
         spec = self.spec
@@ -242,18 +253,34 @@ def generate_trace(
     ops_per_wf = max(1, int(spec.ops_per_wavefront * ops_scale))
     gap_mean = spec.compute_gap_mean
 
+    # Hot generation loop: methods bound once, the exponential rate
+    # computed once (identical float, hence identical draws). RNG call
+    # order per op is unchanged: gap, address, write.
+    inv_gap = 1.0 / gap_mean if gap_mean > 0 else 0.0
+    expovariate = rng.expovariate
+    rand = rng.random
+    write_fraction = spec.write_fraction
     cu_wavefronts: List[List[List[Op]]] = []
     wf_global = 0
     for cu in range(num_cus):
         wavefronts: List[List[Op]] = []
         for _wf in range(wf_per_cu):
             stream = _AddressStream(spec, base_vaddr, wf_global, total_wf, cu, rng)
+            next_address = stream.next_address
             ops: List[Op] = []
-            for _i in range(ops_per_wf):
-                gap = int(rng.expovariate(1.0 / gap_mean)) if gap_mean > 0 else 0
-                vaddr = stream.next_address()
-                write = rng.random() < spec.write_fraction
-                ops.append((gap, vaddr, write))
+            append = ops.append
+            if gap_mean > 0:
+                for _i in range(ops_per_wf):
+                    append(
+                        (
+                            int(expovariate(inv_gap)),
+                            next_address(),
+                            rand() < write_fraction,
+                        )
+                    )
+            else:
+                for _i in range(ops_per_wf):
+                    append((0, next_address(), rand() < write_fraction))
             wavefronts.append(ops)
             wf_global += 1
         cu_wavefronts.append(wavefronts)

@@ -299,3 +299,190 @@ class TestEngineResume:
         engine.schedule(3, lambda: evt.succeed("evt"))
         engine.run()
         assert proc.value == ["proc", "evt"]
+
+
+class TestCombinatorEdgeCases:
+    """all_of / any_of / deadline via direct waiter callbacks (no helper
+    Process per event): empty input, already-triggered, value propagation."""
+
+    def test_all_of_already_triggered_events(self, engine):
+        e1, e2 = engine.event(), engine.event()
+        e1.succeed("a")
+        e2.succeed("b")
+        done = engine.all_of([e1, e2])
+
+        def waiter():
+            return (yield done)
+
+        assert engine.run_process(waiter()) == ["a", "b"]
+
+    def test_all_of_preserves_input_order_not_trigger_order(self, engine):
+        slow = engine.timeout(50)
+        fast = engine.timeout(5)
+
+        def tag(evt, value):
+            got = yield evt
+            assert got is None
+            return value
+
+        p_slow = engine.process(tag(slow, "slow"))
+        p_fast = engine.process(tag(fast, "fast"))
+        done = engine.all_of([p_slow, p_fast])
+
+        def waiter():
+            return (yield done)
+
+        assert engine.run_process(waiter()) == ["slow", "fast"]
+
+    def test_any_of_empty_triggers_immediately_with_none(self, engine):
+        done = engine.any_of([])
+        assert done.triggered
+        assert done.value is None
+
+    def test_any_of_propagates_winner_value(self, engine):
+        late = engine.event()
+        engine.schedule(100, lambda: late.succeed("late"))
+        early = engine.event()
+        engine.schedule(10, lambda: early.succeed("early"))
+        done = engine.any_of([late, early])
+
+        def waiter():
+            return (yield done)
+
+        assert engine.run_process(waiter()) == "early"
+        assert engine.now == 100  # the loser still fires; done stays one-shot
+        assert done.value == "early"
+
+    def test_any_of_with_already_triggered_event_wins(self, engine):
+        ready = engine.event()
+        ready.succeed(42)
+        pending = engine.event()
+        done = engine.any_of([pending, ready])
+
+        def waiter():
+            return (yield done)
+
+        assert engine.run_process(waiter()) == 42
+
+    def test_deadline_event_wins_propagates_value(self, engine):
+        evt = engine.event()
+        engine.schedule(10, lambda: evt.succeed("payload"))
+
+        def waiter():
+            return (yield engine.deadline(evt, 1000))
+
+        assert engine.run_process(waiter()) == "payload"
+
+    def test_deadline_timeout_wins_returns_sentinel(self, engine):
+        from repro.sim.engine import TIMEOUT
+
+        evt = engine.event()  # never triggered
+
+        def waiter():
+            return (yield engine.deadline(evt, 250))
+
+        assert engine.run_process(waiter()) is TIMEOUT
+        assert engine.now == 250
+
+    def test_deadline_on_already_triggered_event(self, engine):
+        evt = engine.event()
+        evt.succeed("done-before")
+
+        def waiter():
+            return (yield engine.deadline(evt, 99))
+
+        assert engine.run_process(waiter()) == "done-before"
+        assert engine.now == 99  # the (unanswered) timer still drains
+
+    def test_deadline_negative_timeout_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.deadline(engine.event(), -1)
+
+    def test_event_mixed_callback_and_process_waiters(self, engine):
+        evt = engine.event()
+        seen = []
+        evt._add_callback(lambda value: seen.append(("cb", value)))
+
+        def waiter():
+            seen.append(("proc", (yield evt)))
+
+        engine.process(waiter())
+        engine.schedule(5, lambda: evt.succeed("v"))
+        engine.run()
+        assert seen == [("cb", "v"), ("proc", "v")]
+
+
+class TestResourceFifoOrder:
+    def test_waiters_granted_in_fifo_order(self, engine):
+        res = Resource(engine, capacity=1)
+        grants = []
+
+        def holder():
+            yield res.acquire()
+            yield 10
+            res.release()
+
+        def contender(tag):
+            yield res.acquire()
+            grants.append((tag, engine.now))
+            yield 5
+            res.release()
+
+        engine.process(holder())
+        for tag in ["first", "second", "third", "fourth"]:
+            engine.process(contender(tag))
+        engine.run()
+        assert [tag for tag, _ in grants] == ["first", "second", "third", "fourth"]
+        times = [t for _, t in grants]
+        assert times == sorted(times)
+
+
+class TestBandwidthServerIntegerArithmetic:
+    """Pin exact delays: the integer-picosecond accounting must reproduce
+    the float implementation's delays on the paper's 180 GB/s channel and
+    stay exact over long runs."""
+
+    def test_known_sequence_delays_pinned(self, engine):
+        server = BandwidthServer(engine, 180e9, TICKS_PER_SECOND)
+        # 180 GB/s at 1 tick/ps -> 50/9 ticks per byte; a 128 B block
+        # takes 6400/9 = 711.1 ticks of service.
+        delays = [server.request(128) for _ in range(5)]
+        assert delays == [711, 1422, 2133, 2844, 3556]
+        engine.schedule(10000, lambda: None)
+        engine.run()
+        assert server.request(128) == 711  # idle channel: queue fully reset
+        assert server.request(64) == 1067  # 711.1 + 355.6 rounds to 1067
+        assert server.bytes_served == 832
+
+    def test_accumulation_is_exact_over_long_runs(self, engine):
+        from fractions import Fraction
+
+        server = BandwidthServer(engine, 7e9, TICKS_PER_SECOND)
+        total = Fraction(0)
+        per_byte = Fraction(TICKS_PER_SECOND) / Fraction(7e9)
+        for _ in range(10_000):
+            server.request(96)
+            total += 96 * per_byte
+        # The internal accumulator equals the exact rational sum — float
+        # accumulation would have drifted off this after ~10k adds.
+        assert Fraction(server._free_num, server._tick_den) == total
+
+    def test_preview_is_pure_and_commit_matches_request(self, engine):
+        server = BandwidthServer(engine, 180e9, TICKS_PER_SECOND)
+        shadow = BandwidthServer(engine, 180e9, TICKS_PER_SECOND)
+        for nbytes in [128, 64, 128, 32, 128]:
+            delay, free = server.preview(engine.now, nbytes)
+            assert server.preview(engine.now, nbytes) == (delay, free)  # pure
+            server.commit(free, nbytes)
+            assert shadow.request(nbytes) == delay
+        assert server._free_num == shadow._free_num
+        assert server.bytes_served == shadow.bytes_served
+
+    def test_utilization_unchanged_by_integer_accounting(self, engine):
+        server = BandwidthServer(engine, 180e9, TICKS_PER_SECOND)
+        for _ in range(3):
+            server.request(128)
+        # busy_ticks keeps the original float accumulation (3 * 711.1...)
+        assert server.busy_ticks == pytest.approx(2133.3333333, rel=1e-9)
+        assert server.utilization(4000) == pytest.approx(0.53333333, rel=1e-6)
+        assert server.utilization(0) == 0.0

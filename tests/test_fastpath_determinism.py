@@ -1,0 +1,153 @@
+"""Determinism goldens for the simulation-core fast paths.
+
+The perf work (zero-allocation event loop, batched trace replay, hot-path
+caches, integer-picosecond bandwidth accounting) must change *wall-clock*
+time only — never simulated behavior. These tests pin that down:
+
+* ``tests/goldens/core_fastpath.json`` holds :class:`RunResult` dumps and
+  chaos/recovery signatures recorded with the pre-optimization core
+  (regenerate only deliberately, via ``python tools/record_goldens.py``);
+* every golden cell is re-run here and compared field-by-field;
+* a small fig4 sweep goes through :func:`repro.sweep.verify_identical`
+  so the serial and parallel executions of the optimized core agree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import _result_to_dict
+from repro.faults import FaultKind
+from repro.recovery import run_recovery_single
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.runner import run_chaos_single, run_single
+
+from tests.util import small_config, tiny_spec
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "core_fastpath.json"
+
+#: One fig4-style cell per GPU configuration (plus a no-border baseline
+#: and a second access pattern), small enough for CI but large enough to
+#: exercise TLB/L1/L2/BCC fast paths, misses, and writebacks.
+FIG4_CELLS = [
+    ("bfs", SafetyMode.BC_BCC, GPUThreading.HIGHLY),
+    ("bfs", SafetyMode.BC_BCC, GPUThreading.MODERATELY),
+    ("bfs", SafetyMode.ATS_ONLY, GPUThreading.HIGHLY),
+    ("hotspot", SafetyMode.BC_BCC, GPUThreading.HIGHLY),
+]
+
+FIG4_SEED = 1234
+FIG4_OPS_SCALE = 0.25
+
+CHAOS_SEED = 23
+RECOVERY_SEED = 5
+
+
+def fig4_cell_key(workload: str, safety: SafetyMode, threading: GPUThreading) -> str:
+    return f"{workload}/{safety.value}/{threading.value}"
+
+
+def run_fig4_cell(workload: str, safety: SafetyMode, threading: GPUThreading):
+    return run_single(
+        workload, safety, threading, seed=FIG4_SEED, ops_scale=FIG4_OPS_SCALE
+    )
+
+
+def run_chaos_cell():
+    return run_chaos_single(
+        "tiny",
+        list(FaultKind),
+        seed=CHAOS_SEED,
+        workload_spec=tiny_spec(),
+        config=small_config(),
+    )
+
+
+def run_recovery_cell():
+    return run_recovery_single(
+        "tiny",
+        "reset-replay",
+        seed=RECOVERY_SEED,
+        workload_spec=tiny_spec(),
+        config=small_config(),
+    )
+
+
+def record_goldens() -> dict:
+    """Run every golden cell; returns the payload for the goldens file.
+
+    Invoked by ``tools/record_goldens.py`` — never from the tests, which
+    only ever *compare* against the committed snapshot.
+    """
+    payload = {
+        "schema": "core-fastpath-goldens-v1",
+        "fig4": {
+            fig4_cell_key(w, s, t): _result_to_dict(run_fig4_cell(w, s, t))
+            for (w, s, t) in FIG4_CELLS
+        },
+        "chaos_signature": run_chaos_cell().signature(),
+        "recovery_signature": run_recovery_cell().signature(),
+    }
+    # JSON round-trip so the recorded form matches what the tests load.
+    return json.loads(json.dumps(payload))
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    if not GOLDEN_PATH.exists():  # pragma: no cover
+        pytest.skip("goldens not recorded (run tools/record_goldens.py)")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _jsonify(value):
+    return json.loads(json.dumps(value))
+
+
+@pytest.mark.parametrize(
+    "workload,safety,threading",
+    FIG4_CELLS,
+    ids=[fig4_cell_key(*cell) for cell in FIG4_CELLS],
+)
+def test_fig4_cell_matches_pre_optimization_golden(
+    goldens, workload, safety, threading
+):
+    result = run_fig4_cell(workload, safety, threading)
+    expected = goldens["fig4"][fig4_cell_key(workload, safety, threading)]
+    actual = _jsonify(_result_to_dict(result))
+    # Field-by-field comparison so a mismatch names the drifted field.
+    for field_name, expected_value in expected.items():
+        assert actual[field_name] == expected_value, (
+            f"RunResult.{field_name} drifted from the pre-optimization "
+            f"golden: {actual[field_name]!r} != {expected_value!r}"
+        )
+    assert set(actual) == set(expected)
+
+
+def test_chaos_run_matches_pre_optimization_golden(goldens):
+    assert _jsonify(run_chaos_cell().signature()) == goldens["chaos_signature"]
+
+
+def test_recovery_run_matches_pre_optimization_golden(goldens):
+    assert _jsonify(run_recovery_cell().signature()) == goldens["recovery_signature"]
+
+
+def test_verify_identical_over_small_sweep(tmp_path, monkeypatch):
+    """Serial and 2-worker parallel sweeps agree bit-for-bit."""
+    from repro.experiments import common
+    from repro.sweep import grid_cells, run_sweep, verify_identical
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.clear_cache()
+    try:
+        cells = grid_cells(
+            "fig4", threading=GPUThreading.HIGHLY, workloads=["bfs"],
+            ops_scale=0.1,
+        )
+        parallel = run_sweep(cells, workers=2, use_disk=False)
+        _serial, mismatches = verify_identical(cells, parallel)
+    finally:
+        common.clear_cache()
+    assert not mismatches, mismatches
