@@ -15,6 +15,10 @@ Subcommands:
 * ``sweep`` — fan a figure grid out across a process pool, optionally
   verify bit-identity against serial execution, and write the
   ``BENCH_sweep.json`` perf snapshot.
+* ``verify`` — run the lockstep verifier (abstract reference monitor vs
+  the real Border Control stack): a Hypothesis stateful search plus an
+  exhaustive small-model sweep; counterexamples are written as
+  replayable poison-cell bundles and the exit status is nonzero.
 * ``replay-cell`` — re-run a quarantined poison-cell repro bundle
   in-process (no pool, no retries) so the failure surfaces directly.
 * ``workloads`` — list the available workload specs.
@@ -307,6 +311,27 @@ def _replay_cell(
               file=sys.stderr)
         return 0 if run.ok else 1
 
+    if kind == "verify":
+        from repro.verify import replay_counterexample
+
+        outcome = replay_counterexample(bundle["cell"])
+        if args.json:
+            print(json.dumps(outcome, indent=2))
+        else:
+            cell = bundle["cell"]
+            print(f"source:         {cell.get('source')}")
+            print(f"ops:            {len(cell.get('ops', []))}")
+            print(f"reproduced:     {outcome['reproduced']}")
+            if outcome["error"]:
+                print(f"at step:        {outcome['step']}")
+                print(f"error:          {outcome['error']}")
+        if outcome["reproduced"]:
+            print("replay reproduced the lockstep violation", file=sys.stderr)
+            return 1
+        print("replay completed without error (failure did not reproduce)",
+              file=sys.stderr)
+        return 0
+
     if kind == "recovery":
         from repro.recovery import recovery_result_to_dict, run_recovery_single
 
@@ -446,6 +471,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(p_export)
     _add_workers(p_export)
     _add_journal(p_export)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="lockstep verification: reference monitor vs the real stack",
+    )
+    p_verify.add_argument(
+        "--profile",
+        choices=["ci", "dev", "nightly"],
+        default=None,
+        help="Hypothesis settings profile (default: $HYPOTHESIS_PROFILE, "
+        "else ci when $CI is set, else dev)",
+    )
+    p_verify.add_argument(
+        "--max-examples", type=int, default=None, metavar="N",
+        help="override the profile's Hypothesis example count",
+    )
+    p_verify.add_argument(
+        "--steps", type=int, default=None, metavar="N",
+        help="override the profile's stateful step count per example",
+    )
+    p_verify.add_argument(
+        "--depth", type=int, default=3, metavar="D",
+        help="small-model exhaustive sweep depth (default 3)",
+    )
+    p_verify.add_argument(
+        "--skip-machine", action="store_true",
+        help="skip the Hypothesis machine (runs without hypothesis installed)",
+    )
+    p_verify.add_argument(
+        "--skip-smallmodel", action="store_true",
+        help="skip the exhaustive small-model sweep",
+    )
+    p_verify.add_argument(
+        "--bundle-dir", default="verify-bundles", metavar="DIR",
+        help="where counterexample bundles are written (default: verify-bundles)",
+    )
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the verification report as JSON")
 
     p_replay = sub.add_parser(
         "replay-cell",
@@ -619,6 +682,40 @@ def _dispatch(
 
     if args.command == "sweep":
         return _run_sweep_command(parser, args, ops_scale, journal=journal)
+
+    if args.command == "verify":
+        from pathlib import Path
+
+        from repro.verify.campaign import run_verify_campaign
+
+        if args.skip_machine and args.skip_smallmodel:
+            parser.error("--skip-machine and --skip-smallmodel leave nothing to run")
+        report = run_verify_campaign(
+            profile=args.profile,
+            max_examples=args.max_examples,
+            stateful_steps=args.steps,
+            smallmodel_depth=args.depth,
+            run_machine=not args.skip_machine,
+            run_smallmodel=not args.skip_smallmodel,
+            bundle_dir=Path(args.bundle_dir),
+            log=lambda message: print(message, file=sys.stderr),
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            status = "PASSED" if report.passed else "FAILED"
+            print(f"lockstep verification {status}")
+            if report.machine_ran:
+                print(f"  machine ({report.profile}): "
+                      f"{'ok' if report.machine_passed else report.machine_error}")
+            if report.smallmodel_ran:
+                print(f"  smallmodel (depth {args.depth}): "
+                      f"{'ok' if report.smallmodel_passed else report.smallmodel_error}")
+            for bundle_path in report.bundles:
+                print(f"  counterexample bundle -> {bundle_path}")
+        return 0 if report.passed else 1
 
     if args.command == "export":
         from repro.analysis.export import export_all

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.core.permissions import Perm
 from repro.core.protection_table import ProtectionTable
@@ -230,6 +230,20 @@ class BorderControlCache:
         self._mru_group = -1
 
     # -- introspection ---------------------------------------------------------------
+
+    def cached_permissions(self) -> "Iterator[Tuple[int, Perm]]":
+        """Yield ``(ppn, perms)`` for every page of every cached entry.
+
+        Zero-permission fields are yielded too: a verifier must be able to
+        prove the cache never holds bits *more* permissive than the
+        Protection Table, which requires seeing exactly what is cached.
+        Pure observation — no LRU movement, no fills, no counters.
+        """
+        ppe = self._ppe
+        for group, packed in self._entries.items():
+            base = group * ppe
+            for slot in range(ppe):
+                yield base + slot, _PERM_TABLE[(packed >> (2 * slot)) & 0x3]
 
     @property
     def occupancy(self) -> int:

@@ -70,6 +70,11 @@ class ViolationRecord:
 
 ViolationHandler = Callable[[ViolationRecord], None]
 
+#: Observation hook signature: (paddr, write, decision). Fired on every
+#: border check — allowed or not — so a lockstep verifier can compare the
+#: engine's decision stream against an abstract reference monitor.
+DecisionHandler = Callable[[int, bool, AccessDecision], None]
+
 #: Interned :class:`AccessDecision` instances. The type is frozen and has
 #: only a handful of distinct values (allowed x perms x bcc_hit x oob), so
 #: the hot check path reuses singletons instead of allocating a dataclass
@@ -125,6 +130,9 @@ class BorderControl:
         self.epoch = 0
         self.violations: List[ViolationRecord] = []
         self._handlers: List[ViolationHandler] = []
+        # Decision observers (repro.verify): empty in production, so the
+        # hot check path pays one falsy test and nothing else.
+        self._decision_hooks: List[DecisionHandler] = []
         self._checks = self.stats.counter("checks")
         self._read_checks = self.stats.counter("read_checks")
         self._write_checks = self.stats.counter("write_checks")
@@ -139,6 +147,16 @@ class BorderControl:
     def on_violation(self, handler: ViolationHandler) -> None:
         """Register an OS notification handler (kill process / disable accel)."""
         self._handlers.append(handler)
+
+    def on_decision(self, handler: DecisionHandler) -> None:
+        """Observe every allow/deny decision this engine makes.
+
+        The hook fires synchronously inside :meth:`check` with the same
+        ``(paddr, write, decision)`` the caller sees; it charges no
+        simulated time, so a lockstep verifier can shadow the engine
+        without perturbing any experiment's timing.
+        """
+        self._decision_hooks.append(handler)
 
     @property
     def active(self) -> bool:
@@ -235,6 +253,9 @@ class BorderControl:
         ppn = paddr >> PAGE_SHIFT
         if not table.covers(ppn):
             decision = _decision(False, Perm.NONE, bcc_hit=False, out_of_bounds=True)
+            if self._decision_hooks:
+                for hook in self._decision_hooks:
+                    hook(paddr, write, decision)
             self._report(paddr, write, decision)
             return decision
         if self.bcc is not None:
@@ -245,6 +266,9 @@ class BorderControl:
             hit, perms = False, table.get(ppn)
             self._pt_accesses.value += 1
         decision = _decision(perms.allows(write), perms, hit)
+        if self._decision_hooks:
+            for hook in self._decision_hooks:
+                hook(paddr, write, decision)
         if not decision.allowed:
             self._report(paddr, write, decision)
         return decision

@@ -160,8 +160,11 @@ class ProtectionTable:
 
     def populated(self) -> Iterator[Tuple[int, Perm]]:
         """Iterate (ppn, perms) for pages with any permission set."""
-        for byte_index in range(self.size_bytes):
-            byte = self.phys.read(self.base_paddr + byte_index, 1)[0]
+        # One bulk read instead of size_bytes single-byte reads, and the
+        # (usually huge) all-zero tail is dropped at C speed — this runs
+        # after every step of the lockstep verifier.
+        data = self.phys.read(self.base_paddr, self.size_bytes).rstrip(b"\x00")
+        for byte_index, byte in enumerate(data):
             if not byte:
                 continue
             for sub in range(4):

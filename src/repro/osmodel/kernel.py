@@ -108,6 +108,10 @@ class Kernel:
         self.violation_storm_threshold: int = 0
         self._quarantine_until: Dict[str, int] = {}
         self._quarantine_strikes: Dict[str, int] = {}
+        # Lifecycle observers (repro.verify): called synchronously with
+        # (event, accel_id, info) on quarantine / storm-kill / readmit /
+        # reset transitions. Empty in production — one falsy test per event.
+        self._lifecycle_hooks: List[Callable[[str, str, Dict[str, object]], None]] = []
         self._downgrade_count = self.stats.counter("downgrades")
         self._quarantine_count = self.stats.counter("quarantines")
         self._permanent_quarantines = self.stats.counter("permanent_quarantines")
@@ -338,6 +342,30 @@ class Kernel:
         """Anything caching translations: MMUs, the ATS, accelerators."""
         self._shootdown_listeners.append(listener)
 
+    def downgrade_process(self, proc: Process) -> None:
+        """Synchronous facade for :meth:`downgrade_process_g` (the Fig. 7
+        context-switch event), for callers outside the simulation loop."""
+        self._run(self.downgrade_process_g(proc))
+
+    # ------------------------------------------------------------------
+    # lifecycle observation (repro.verify)
+    # ------------------------------------------------------------------
+
+    def on_lifecycle(self, handler: Callable[[str, str, Dict[str, object]], None]) -> None:
+        """Observe accelerator lifecycle transitions without perturbing them.
+
+        Events: ``quarantine`` (info: strikes, permanent), ``storm-kill``
+        (info: pid), ``readmit``, ``reset`` (info: epoch). Handlers run
+        synchronously after the kernel state change and charge no
+        simulated time.
+        """
+        self._lifecycle_hooks.append(handler)
+
+    def _emit_lifecycle(self, event: str, accel_id: str, **info: object) -> None:
+        if self._lifecycle_hooks:
+            for hook in self._lifecycle_hooks:
+                hook(event, accel_id, info)
+
     # ------------------------------------------------------------------
     # page faults, copy-on-write, swap
     # ------------------------------------------------------------------
@@ -553,6 +581,9 @@ class Kernel:
         if threshold > 0 and strikes >= threshold:
             self._permanent_quarantines.inc()
             self._quarantine_until[accel_id] = -1
+            self._emit_lifecycle(
+                "quarantine", accel_id, strikes=strikes, permanent=True
+            )
             for proc in list(self.processes.values()):
                 if accel_id in proc.accelerators and proc.alive:
                     self._storm_kills.inc()
@@ -562,6 +593,7 @@ class Kernel:
                         f"({strikes} strikes); accelerator permanently quarantined"
                         + (f" — {reason}" if reason else ""),
                     )
+                    self._emit_lifecycle("storm-kill", accel_id, pid=proc.pid)
             return True
         exponent = min(strikes - 1, self.quarantine_backoff_cap)
         window = self.quarantine_backoff_ticks * (1 << exponent)
@@ -572,6 +604,7 @@ class Kernel:
         else:
             # No backoff configured: quarantined until manually released.
             self._quarantine_until[accel_id] = -1
+        self._emit_lifecycle("quarantine", accel_id, strikes=strikes, permanent=False)
         return True
 
     def is_quarantined(self, accel_id: str) -> bool:
@@ -602,6 +635,7 @@ class Kernel:
             accel.enable()
         else:
             accel.enabled = True
+        self._emit_lifecycle("readmit", accel_id)
 
     def reset_accelerator(self, accel_id: str) -> bool:
         """Epoch-fenced accelerator reset (recovery subsystem).
@@ -641,6 +675,7 @@ class Kernel:
                 accel.enable()
             else:
                 accel.enabled = True
+        self._emit_lifecycle("reset", accel_id, epoch=epoch)
         return True
 
     # ------------------------------------------------------------------

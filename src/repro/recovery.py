@@ -134,6 +134,7 @@ class RecoveryManager:
         system: System,
         policy: RecoveryPolicy = RecoveryPolicy(),
         replay_hook=None,
+        observer=None,
     ) -> None:
         self.system = system
         self.policy = policy
@@ -141,6 +142,10 @@ class RecoveryManager:
         # reset-replay scenario uses it to drain recorded writebacks at
         # the stale epoch (all of which must die at the fence).
         self.replay_hook = replay_hook
+        # Stage observer (repro.verify): called with (stage, info) at each
+        # step of the detect → contain → recover → degrade pipeline
+        # ("reset", "relaunch", "retry", "outcome"). Pure observation.
+        self.observer = observer
         self.backoff_ticks = system.gpu_clock.cycles_to_ticks(
             policy.retry_backoff_cycles
         )
@@ -153,6 +158,10 @@ class RecoveryManager:
         # True while a (re)launched kernel is outstanding; the harness
         # watchdog only intervenes inside that window.
         self.launch_active = False
+
+    def _observe(self, stage: str, **info) -> None:
+        if self.observer is not None:
+            self.observer(stage, info)
 
     # The recovery loop is a simulation generator so retries, backoff
     # waits, and the fallback execution all consume simulated time and
@@ -172,6 +181,7 @@ class RecoveryManager:
             self._attempted.inc()
             old_epoch = getattr(system.gpu, "epoch", 0)
             kernel.reset_accelerator(GPU_ID)
+            self._observe("reset", attempt=attempt, stale_epoch=old_epoch)
             if self.replay_hook is not None:
                 # The pre-reset device drains its queues *now*, under the
                 # epoch that just became stale.
@@ -183,6 +193,7 @@ class RecoveryManager:
             except AcceleratorDisabledError:
                 done = None
             if done is not None:
+                self._observe("relaunch", attempt=attempt)
                 self.launch_active = True
                 yield done
                 self.launch_active = False
@@ -193,16 +204,19 @@ class RecoveryManager:
                 ):
                     self._succeeded.inc()
                     self._recovery_ticks.inc(engine.now - start)
+                    self._observe("outcome", outcome="retried")
                     return "retried"
             if not proc.alive:
                 break
             if attempt < self.policy.max_retries:
                 self._retries.inc()
+                self._observe("retry", attempt=attempt)
                 if backoff:
                     yield backoff
                 backoff *= 2
         self._recovery_ticks.inc(engine.now - start)
         if not proc.alive:
+            self._observe("outcome", outcome="killed")
             return "killed"
         if self.policy.cpu_fallback:
             # Degrade: the retry budget is spent; finish the work on the
@@ -210,7 +224,9 @@ class RecoveryManager:
             self._fallbacks.inc()
             program = trace_to_cpu_program(trace, self.policy.cpu_op_gap_cycles)
             yield from system.cpu.run_program(proc, program)
+            self._observe("outcome", outcome="fallback")
             return "fallback"
+        self._observe("outcome", outcome="failed")
         return "failed"
 
 
@@ -360,6 +376,7 @@ def run_recovery_single(
     storm_threshold: int = 3,
     tenant_tolerance: float = 8.0,
     max_stalled_fires: int = 8,
+    observer=None,
 ) -> RecoveryRunResult:
     """One seeded end-to-end recovery run.
 
@@ -470,7 +487,10 @@ def run_recovery_single(
 
     post_reset_hooks = {"reset-replay": replay_stale, "fallback": rearm_wedge}
     manager = RecoveryManager(
-        system, policy, replay_hook=post_reset_hooks.get(scenario)
+        system,
+        policy,
+        replay_hook=post_reset_hooks.get(scenario),
+        observer=observer,
     )
 
     resolved = [False]

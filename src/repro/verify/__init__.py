@@ -1,0 +1,70 @@
+"""Lockstep verification of the Border Control stack (the tentpole of
+the robustness PR).
+
+An abstract :class:`~repro.verify.monitor.ReferenceMonitor` — pages ×
+permissions × epochs × lifecycle, nothing else — runs in lockstep with
+the real ``Kernel``/``BorderControl``/``BCC`` stack under a
+:class:`~repro.verify.harness.LockstepHarness`. Two checkers drive it:
+
+* :class:`~repro.verify.machine.LockstepMachine` — a Hypothesis stateful
+  model sampling deep random interleavings (needs the ``test`` extra);
+* :func:`~repro.verify.smallmodel.check_small_model` — an exhaustive,
+  dependency-free sweep of *every* short sequence over a small universe.
+
+Counterexamples ship as replayable poison-cell bundles
+(:mod:`repro.verify.bundle`) and replay via ``border-control
+replay-cell``. Hypothesis-dependent names (``LockstepMachine``,
+``run_verify_campaign``, the profiles) import lazily so the rest of the
+package works without the ``test`` extra installed.
+"""
+
+from repro.verify.bundle import (
+    make_cell,
+    replay_counterexample,
+    write_verify_bundle,
+)
+from repro.verify.harness import (
+    HarnessConfig,
+    LockstepHarness,
+    LockstepViolation,
+    OpRejected,
+)
+from repro.verify.monitor import DeviceState, Lifecycle, ReferenceMonitor
+from repro.verify.smallmodel import (
+    Counterexample,
+    check_small_model,
+    small_model_config,
+)
+
+__all__ = [
+    "HarnessConfig",
+    "LockstepHarness",
+    "LockstepViolation",
+    "OpRejected",
+    "ReferenceMonitor",
+    "DeviceState",
+    "Lifecycle",
+    "Counterexample",
+    "check_small_model",
+    "small_model_config",
+    "make_cell",
+    "replay_counterexample",
+    "write_verify_bundle",
+    "LockstepMachine",
+    "run_verify_campaign",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: these pull in hypothesis (LockstepMachine) or are only needed
+    # by the CLI (campaign); importing repro.verify must stay cheap and
+    # dependency-free.
+    if name == "LockstepMachine":
+        from repro.verify.machine import LockstepMachine
+
+        return LockstepMachine
+    if name == "run_verify_campaign":
+        from repro.verify.campaign import run_verify_campaign
+
+        return run_verify_campaign
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,156 @@
+"""Verification campaigns: run both checkers, bundle what they find.
+
+This is the engine behind ``border-control verify``: a randomized
+Hypothesis machine run (sampling deep interleavings) plus the exhaustive
+small-model sweep (proving shallow ones), each reporting independently.
+Any counterexample is written as a replayable poison-cell bundle so the
+failure travels — from CI artifact to a local ``replay-cell`` — without
+the finding machine's RNG state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.verify.bundle import make_cell, write_verify_bundle
+from repro.verify.harness import HarnessConfig
+from repro.verify.smallmodel import check_small_model, small_model_config
+
+__all__ = ["VerifyReport", "run_verify_campaign"]
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one verification campaign."""
+
+    profile: str = ""
+    machine_ran: bool = False
+    machine_passed: bool = True
+    machine_error: str = ""
+    smallmodel_ran: bool = False
+    smallmodel_passed: bool = True
+    smallmodel_sequences_hint: int = 0
+    smallmodel_error: str = ""
+    bundles: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.machine_passed and self.smallmodel_passed
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "profile": self.profile,
+            "machine": {
+                "ran": self.machine_ran,
+                "passed": self.machine_passed,
+                "error": self.machine_error or None,
+            },
+            "smallmodel": {
+                "ran": self.smallmodel_ran,
+                "passed": self.smallmodel_passed,
+                "error": self.smallmodel_error or None,
+            },
+            "bundles": self.bundles,
+        }
+
+
+def run_verify_campaign(
+    profile: Optional[str] = None,
+    max_examples: Optional[int] = None,
+    stateful_steps: Optional[int] = None,
+    smallmodel_depth: int = 3,
+    run_machine: bool = True,
+    run_smallmodel: bool = True,
+    bundle_dir: Optional[Path] = None,
+    config: Optional[HarnessConfig] = None,
+    log=None,
+) -> VerifyReport:
+    """Run the lockstep checkers; returns a :class:`VerifyReport`.
+
+    ``--skip-machine`` runs (``run_machine=False``) work without
+    Hypothesis installed: the machine branch is the only place it is
+    imported.
+    """
+    report = VerifyReport()
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    if run_machine:
+        # Imported lazily: everything else in repro.verify must work in
+        # environments without the `test` extra.
+        from hypothesis import settings
+        from hypothesis.stateful import run_state_machine_as_test
+
+        from repro.verify import machine as machine_mod
+        from repro.verify.profiles import load_profile
+
+        report.profile = load_profile(profile)
+        overrides: Dict[str, object] = {}
+        if max_examples is not None:
+            overrides["max_examples"] = max_examples
+        if stateful_steps is not None:
+            overrides["stateful_step_count"] = stateful_steps
+        active = settings(settings.default, **overrides) if overrides else None
+
+        machine_cls = machine_mod.LockstepMachine
+        if config is not None:
+            machine_cls = type(
+                "ConfiguredLockstepMachine", (machine_mod.LockstepMachine,),
+                {"config": config},
+            )
+
+        report.machine_ran = True
+        say(f"machine: profile={report.profile} running stateful search...")
+        try:
+            run_state_machine_as_test(machine_cls, settings=active)
+        except Exception as exc:  # counterexample (or harness crash)
+            report.machine_passed = False
+            report.machine_error = f"{type(exc).__name__}: {exc}"
+            trace = list(machine_mod.LAST_TRACE)
+            say(f"machine: FAILED after shrink — {len(trace)}-op trace")
+            if bundle_dir is not None and trace:
+                cell = make_cell(trace, "machine", config)
+                path = write_verify_bundle(
+                    Path(bundle_dir), cell, report.machine_error
+                )
+                report.bundles.append(str(path))
+                say(f"machine: wrote counterexample bundle {path}")
+        else:
+            say("machine: passed")
+
+    if run_smallmodel:
+        report.smallmodel_ran = True
+        say(f"smallmodel: exhaustive sweep to depth {smallmodel_depth}...")
+        counted = [0]
+
+        def progress(n: int) -> None:
+            counted[0] = n
+
+        smallmodel_cfg = config or small_model_config()
+        counterexample = check_small_model(
+            depth=smallmodel_depth, config=smallmodel_cfg, progress=progress
+        )
+        report.smallmodel_sequences_hint = counted[0]
+        if counterexample is not None:
+            report.smallmodel_passed = False
+            report.smallmodel_error = counterexample.error
+            say(
+                f"smallmodel: FAILED at step {counterexample.step} "
+                f"({len(counterexample.ops)}-op sequence)"
+            )
+            if bundle_dir is not None:
+                cell = make_cell(counterexample.ops, "smallmodel", smallmodel_cfg)
+                path = write_verify_bundle(
+                    Path(bundle_dir), cell, counterexample.error
+                )
+                report.bundles.append(str(path))
+                say(f"smallmodel: wrote counterexample bundle {path}")
+        else:
+            say("smallmodel: passed (exhaustive over the small universe)")
+
+    return report

@@ -1,0 +1,85 @@
+"""Centralized Hypothesis settings profiles.
+
+One place defines how hard property-based tests try, everywhere: the
+test suite (via ``tests/conftest.py``), the ``verify`` CLI subcommand,
+and CI all load profiles from here instead of scattering inline
+``settings(...)`` decorators.
+
+* ``ci`` — small, derandomized, deadline-free: identical results on
+  every run, fast enough for a smoke gate.
+* ``dev`` — the default on workstations: quick feedback, still random.
+* ``nightly`` — long randomized runs with deep stateful traces, for the
+  scheduled job that hunts rare interleavings.
+
+Select with ``HYPOTHESIS_PROFILE=nightly pytest …`` or let
+:func:`load_profile` pick: the env var wins, then ``ci`` when a CI
+environment is detected, else ``dev``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from hypothesis import HealthCheck, settings
+
+__all__ = ["register_profiles", "load_profile", "PROFILES"]
+
+PROFILES = ("ci", "dev", "nightly")
+
+_registered = False
+
+
+def register_profiles() -> None:
+    """Register the ci/dev/nightly profiles (idempotent)."""
+    global _registered
+    if _registered:
+        return
+    _registered = True
+    # The stateful machine builds a whole Kernel per example and its
+    # rules have narrow preconditions, so the too_slow / filter_too_much
+    # health checks misfire; suppress them uniformly.
+    common = dict(
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    )
+    settings.register_profile(
+        "ci",
+        max_examples=25,
+        stateful_step_count=30,
+        derandomize=True,  # CI failures must reproduce exactly
+        print_blob=True,
+        **common,
+    )
+    settings.register_profile(
+        "dev",
+        max_examples=50,
+        stateful_step_count=50,
+        print_blob=True,
+        **common,
+    )
+    settings.register_profile(
+        "nightly",
+        max_examples=400,
+        stateful_step_count=120,
+        print_blob=True,
+        **common,
+    )
+
+
+def resolve_profile(name: Optional[str] = None) -> str:
+    """The profile to use: explicit name > $HYPOTHESIS_PROFILE > CI detection."""
+    if name:
+        return name
+    env = os.environ.get("HYPOTHESIS_PROFILE")
+    if env:
+        return env
+    return "ci" if os.environ.get("CI") else "dev"
+
+
+def load_profile(name: Optional[str] = None) -> str:
+    """Register (if needed) and activate a profile; returns its name."""
+    register_profiles()
+    chosen = resolve_profile(name)
+    settings.load_profile(chosen)
+    return chosen

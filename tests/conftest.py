@@ -1,4 +1,13 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Hypothesis configuration is centralized here: every property-based test
+inherits the active ci/dev/nightly profile from
+:mod:`repro.verify.profiles` instead of carrying inline ``settings``.
+Select with ``HYPOTHESIS_PROFILE=nightly pytest …``; CI environments
+(``$CI`` set) default to the derandomized ``ci`` profile. Tests that
+need a different budget scale the profile via
+:func:`tests.util.profile_settings`.
+"""
 
 from __future__ import annotations
 
@@ -8,9 +17,12 @@ from repro.core.bcc import BCCConfig
 from repro.mem.phys_memory import PhysicalMemory
 from repro.osmodel.kernel import Kernel, ViolationPolicy
 from repro.sim.engine import Engine
+from repro.verify.profiles import load_profile
 from repro.vm.frame_allocator import FrameAllocator
 
 from tests.util import MEM_128M
+
+HYPOTHESIS_PROFILE = load_profile()
 
 
 @pytest.fixture

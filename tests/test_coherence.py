@@ -163,10 +163,9 @@ class TestDataIntegrity:
             assert len(owners) <= 1
 
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     ops=st.lists(
         st.tuples(

@@ -15,7 +15,7 @@ The load-bearing claims under test:
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.permissions import Perm
 from repro.errors import BorderTimeoutError
@@ -27,7 +27,7 @@ from repro.sim.engine import TIMEOUT, Engine
 from repro.sim.runner import run_chaos_single
 from repro.sim.system import GPU_ID
 
-from tests.util import make_system, small_config, tiny_spec
+from tests.util import make_system, profile_settings, small_config, tiny_spec
 
 
 class RecordingPort(MemoryPort):
@@ -107,7 +107,6 @@ def test_max_count_bounds_injections_without_perturbing_stream():
     assert [i for i, k in enumerate(bounded) if k is not None] == fired[:3]
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=2**32 - 1),
     rate=st.floats(min_value=0.0, max_value=1.0),
@@ -447,7 +446,7 @@ def test_chaos_mix_holds_invariants_and_reports_fault_counts():
     assert run.probes > 0  # the rogue prober actually exercised the border
 
 
-@settings(max_examples=6, deadline=None)
+@profile_settings(0.12, floor=3)
 @given(
     seed=st.integers(min_value=0, max_value=2**32 - 1),
     kinds=st.sets(st.sampled_from(list(FaultKind)), min_size=1, max_size=3),

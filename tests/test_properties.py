@@ -6,7 +6,7 @@ stream, Border Control never lets an access exceed the page-table
 permissions that produced the Protection Table contents.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.bcc import BCCConfig, BorderControlCache
 from repro.core.border_control import BorderControl
@@ -16,6 +16,8 @@ from repro.mem.address import BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE
 from repro.mem.phys_memory import PhysicalMemory
 from repro.vm.frame_allocator import FrameAllocator
 from repro.vm.page_table import PageTable
+
+from tests.util import profile_settings
 
 MEM = 32 * 1024 * 1024  # 32 MiB arenas keep the strategies fast
 NUM_PAGES = MEM // PAGE_SIZE
@@ -42,7 +44,6 @@ op_st = st.one_of(
 )
 
 
-@settings(max_examples=60, deadline=None)
 @given(ops=st.lists(op_st, min_size=1, max_size=60))
 def test_checks_always_match_reference_permissions(ops):
     phys, allocator = fresh()
@@ -71,7 +72,6 @@ def test_checks_always_match_reference_permissions(ops):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     grants=st.lists(st.tuples(ppn_st, st.sampled_from([Perm.R, Perm.W, Perm.RW])),
                     min_size=1, max_size=30),
@@ -104,7 +104,6 @@ def test_bcc_transparent_to_decisions(grants, checks, entries, ppe):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     mappings=st.lists(
         st.tuples(
@@ -148,7 +147,6 @@ def test_protection_table_never_exceeds_page_table(mappings, data):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     assignments=st.dictionaries(
         st.integers(min_value=0, max_value=2047), perms_st, min_size=1, max_size=64
@@ -173,7 +171,6 @@ def test_read_bits_agrees_with_get(assignments, window_start, window_len):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     ops=st.lists(
         st.tuples(
@@ -213,7 +210,6 @@ def test_bcc_never_stale_under_writethrough_discipline(ops, ppe):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     ops=st.lists(
         st.tuples(
@@ -251,7 +247,7 @@ def test_phys_memory_matches_reference_model(ops):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=15, deadline=None)
+@profile_settings(0.3, floor=5)
 @given(
     rogue=st.lists(
         st.tuples(ppn_st, st.integers(0, PAGE_SIZE - BLOCK_SIZE), st.booleans()),
@@ -307,7 +303,6 @@ def test_arbitrary_rogue_stream_is_contained(rogue):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     ops=st.lists(
         st.tuples(
@@ -371,7 +366,6 @@ def test_cache_hierarchy_equivalent_to_flat_memory(ops, l1_write_back):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30)
 )

@@ -1,7 +1,7 @@
 """Unit + property tests for the sparse Protection Table (§3.1.1 aside)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.bcc import BCCConfig, BorderControlCache
 from repro.core.permissions import Perm
@@ -114,7 +114,6 @@ class TestInterfaceCompatibility:
 perms_st = st.sampled_from([Perm.NONE, Perm.R, Perm.W, Perm.RW])
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     ops=st.lists(
         st.tuples(

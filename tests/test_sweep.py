@@ -456,7 +456,7 @@ class TestJournalProperties:
         import tempfile
         from pathlib import Path
 
-        from hypothesis import given, settings
+        from hypothesis import given
         from hypothesis import strategies as st
 
         @given(
@@ -464,7 +464,6 @@ class TestJournalProperties:
                 st.tuples(st.sampled_from("abcd"), st.booleans()), max_size=30
             )
         )
-        @settings(max_examples=40, deadline=None)
         def check(entries):
             with tempfile.TemporaryDirectory() as tmp:
                 directory = Path(tmp)

@@ -1,0 +1,119 @@
+"""The exhaustive small-model checker (repro.verify.smallmodel).
+
+A clean stack must survive *every* interleaving over the small universe;
+a seeded bug — in the specification or in the real stack — must be found
+with a minimal counterexample that round-trips through the poison-cell
+bundle format and reproduces on replay.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.border_control import BorderControl
+from repro.supervisor import BUNDLE_SCHEMA
+from repro.verify.bundle import make_cell, replay_counterexample, write_verify_bundle
+from repro.verify.harness import HarnessConfig
+from repro.verify.smallmodel import check_small_model, small_model_config
+
+# Shallow-but-exhaustive in the test suite; the CLI's default is depth 3.
+DEPTH = 2
+
+
+def broken_monitor_config() -> HarnessConfig:
+    cfg = small_model_config()
+    return HarnessConfig(
+        phys_bytes=cfg.phys_bytes,
+        devices=cfg.devices,
+        bcc_entries=cfg.bcc_entries,
+        bcc_pages_per_entry=cfg.bcc_pages_per_entry,
+        storm_threshold=cfg.storm_threshold,
+        monitor_epoch_fence=False,  # the seeded specification bug
+    )
+
+
+def test_clean_stack_passes_exhaustively():
+    assert check_small_model(depth=DEPTH) is None
+
+
+def test_teeth_broken_monitor_is_found():
+    """Seed the checker with an epoch-fence-free monitor: it must find
+    the stale-replay divergence, and shortest-first enumeration makes
+    the counterexample minimal."""
+    counterexample = check_small_model(depth=DEPTH, config=broken_monitor_config())
+    assert counterexample is not None
+    # The divergence needs a grant plus a stale replay of it — nothing else.
+    assert any(op["op"] == "translate" for op in counterexample.ops)
+    assert any(
+        op["op"] == "access" and op.get("stale", 0) > 0
+        for op in counterexample.ops
+    )
+    # Minimal: setup prefix (mmap) + translate + stale access.
+    assert len(counterexample.ops) <= 3
+
+
+def test_teeth_broken_real_stack_is_found(monkeypatch):
+    """Mutation test: bypass the real stack's epoch fence; the checker
+    must catch the stack admitting stale traffic."""
+    monkeypatch.setattr(BorderControl, "admit_epoch", lambda self, epoch: True)
+    counterexample = check_small_model(depth=DEPTH)
+    assert counterexample is not None
+    assert any(
+        op["op"] == "access" and op.get("stale", 0) > 0
+        for op in counterexample.ops
+    )
+
+
+def test_counterexample_bundle_roundtrip(tmp_path):
+    """Counterexample -> poison-cell bundle -> replay reproduces."""
+    cfg = broken_monitor_config()
+    counterexample = check_small_model(depth=DEPTH, config=cfg)
+    assert counterexample is not None
+
+    cell = make_cell(counterexample.ops, "smallmodel", cfg)
+    path = write_verify_bundle(tmp_path, cell, counterexample.error)
+    assert path.name.startswith("poison-")
+
+    bundle = json.loads(path.read_text())
+    assert bundle["schema"] == BUNDLE_SCHEMA
+    assert bundle["kind"] == "verify"
+
+    outcome = replay_counterexample(bundle["cell"])
+    assert outcome["reproduced"] is True
+    assert "divergence" in (outcome["error"] or "")
+
+
+def test_replay_clean_trace_does_not_reproduce():
+    cell = make_cell(
+        [
+            {"op": "mmap", "pages": 2, "writable": True},
+            {"op": "translate", "dev": 0, "area": 0, "page": 0},
+        ],
+        "smallmodel",
+        small_model_config(),
+    )
+    outcome = replay_counterexample(cell)
+    assert outcome["reproduced"] is False
+    assert outcome["error"] is None
+
+
+def test_verify_cli_smoke(tmp_path, capsys):
+    """The CLI path CI runs: small-model only (no RNG), JSON report."""
+    from repro.cli import main
+
+    code = main(
+        [
+            "verify",
+            "--skip-machine",
+            "--depth",
+            "1",
+            "--bundle-dir",
+            str(tmp_path / "bundles"),
+            "--json",
+        ]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["passed"] is True
+    assert report["smallmodel"]["ran"] is True
+    assert report["machine"]["ran"] is False

@@ -42,3 +42,18 @@ def tiny_spec(**overrides) -> WorkloadSpec:
     )
     params.update(overrides)
     return WorkloadSpec(**params)
+
+
+def profile_settings(scale: float = 1.0, floor: int = 2, **overrides):
+    """Hypothesis settings scaled from the active ci/dev/nightly profile.
+
+    Keeps per-test budgets proportional when the profile changes: a
+    simulation-heavy property asks for ``scale=0.1`` and runs 5 examples
+    under ``dev`` (50) but 40 under ``nightly`` (400). Everything else
+    (deadline, health checks, derandomization) is inherited from the
+    profile registered in ``repro.verify.profiles``.
+    """
+    from hypothesis import settings
+
+    budget = max(floor, round(settings.default.max_examples * scale))
+    return settings(max_examples=budget, **overrides)
