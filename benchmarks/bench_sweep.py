@@ -5,6 +5,11 @@ pool, then proves the parallel results are field-for-field identical to
 serial execution with every cache bypassed. The benchmark time is the
 parallel wall clock; ``speedup_estimate`` (summed per-cell seconds over
 wall) approximates the parallel efficiency on this machine's cores.
+
+``test_sweep_warm_repeat`` then re-runs the same grid against the caches
+the first pass populated: the repeat must be 100% cache hits with
+near-zero per-cell compute — the incremental-caching contract the old
+always-0.0 ``cache_hit_rate`` silently broke.
 """
 
 import pytest
@@ -46,4 +51,33 @@ def test_sweep_parallel_identity(benchmark, grid_cells):
         f"\n{report.sims_per_minute:.1f} sims/min, "
         f"estimated speedup {report.speedup_estimate:.2f}x "
         f"({report.workers} workers, mode {report.mode})"
+    )
+
+
+def test_sweep_warm_repeat(benchmark, grid_cells):
+    cold = sweep.run_sweep(grid_cells, workers=1)
+    assert cold.ok, cold.failures()
+
+    warm = benchmark.pedantic(
+        sweep.run_sweep,
+        args=(grid_cells,),
+        kwargs={"workers": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert warm.ok, warm.failures()
+    assert warm.cache_hit_rate == 1.0, (
+        f"repeat sweep recomputed cells: hit rate {warm.cache_hit_rate:.2%}"
+    )
+    # Cache reads, not simulations: the repeat's summed per-cell time
+    # must be a small fraction of the cold pass's.
+    assert warm.cell_seconds < max(0.5, 0.2 * cold.cell_seconds), (
+        f"warm repeat spent {warm.cell_seconds:.2f}s in cells "
+        f"(cold pass: {cold.cell_seconds:.2f}s)"
+    )
+
+    print(
+        f"\nwarm repeat: {warm.wall_seconds:.2f}s wall vs "
+        f"{cold.wall_seconds:.2f}s cold, "
+        f"{warm.cache_hit_rate:.0%} cache hits"
     )

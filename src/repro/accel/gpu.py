@@ -438,6 +438,22 @@ class GPU(AcceleratorBase):
             l2.invalidate_all()
         super().reset(epoch)
 
+    def reset_for_reuse(self) -> None:
+        """Warm-reuse reset (not the modeled hardware reset): restore the
+        device to its post-construction state. The engine queue was reset
+        by the owning System, so in-flight wavefronts are already gone."""
+        for port in self._issue_ports:
+            port.reset()
+        self.last_kernel_ticks = 0
+        self._stall_until = 0
+        self._inflight = 0
+        self._quiesce_depth = 0
+        self._resume_event = self.engine.event()
+        self.enabled = True
+        self.epoch = 0
+        self.asids.clear()
+        self.sandboxes.clear()
+
     # -- reporting ---------------------------------------------------------
 
     @property

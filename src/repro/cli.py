@@ -175,6 +175,11 @@ def _run_sweep_command(
             file=sys.stderr,
         )
 
+    warm_report = None
+    if args.bench_repeat:
+        print("repeat pass (warm caches) ...", file=sys.stderr)
+        warm_report = sweep.run_sweep(cells, workers=workers, progress=progress)
+
     serial_wall = None
     verified: Optional[bool] = None
     mismatches: List[str] = []
@@ -190,6 +195,7 @@ def _run_sweep_command(
         grids,
         serial_wall_seconds=serial_wall,
         verified_identical=verified,
+        warm_report=warm_report,
         extra={
             "seed": args.seed,
             "quick": args.quick,
@@ -202,11 +208,23 @@ def _run_sweep_command(
         print(json.dumps(payload, indent=2))
     else:
         print(report.render())
-        if serial_wall is not None and report.wall_seconds > 0:
+        if warm_report is not None:
             print(
-                f"serial reference: {serial_wall:.2f}s, measured speedup "
-                f"{serial_wall / report.wall_seconds:.2f}x"
+                f"warm repeat: {warm_report.wall_seconds:.2f}s wall, "
+                f"{warm_report.cache_hit_rate:.0%} cache hits"
             )
+        if serial_wall is not None and report.wall_seconds > 0:
+            if payload["speedup"] is not None:
+                print(
+                    f"serial reference: {serial_wall:.2f}s, measured speedup "
+                    f"{payload['speedup']:.2f}x "
+                    f"({payload['speedup_per_worker']:.2f}x per worker)"
+                )
+            else:
+                print(
+                    f"serial reference: {serial_wall:.2f}s; not a parallel "
+                    f"speedup measurement: {payload['parallel_invalid_reason']}"
+                )
         print(f"bench snapshot -> {args.bench_out}")
     for mismatch in mismatches:
         print(f"MISMATCH {mismatch}", file=sys.stderr)
@@ -216,6 +234,15 @@ def _run_sweep_command(
             file=sys.stderr,
         )
         return 1
+    if args.min_cache_hit_rate is not None:
+        gate = warm_report if warm_report is not None else report
+        if gate.cache_hit_rate + 1e-9 < args.min_cache_hit_rate:
+            print(
+                f"cache hit rate {gate.cache_hit_rate:.2%} is below the "
+                f"required {args.min_cache_hit_rate:.2%}",
+                file=sys.stderr,
+            )
+            return 1
     return 0 if report.ok else 1
 
 
@@ -460,6 +487,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="BENCH_sweep.json",
         metavar="PATH",
         help="where to write the perf snapshot (default: BENCH_sweep.json)",
+    )
+    p_sweep.add_argument(
+        "--bench-repeat",
+        action="store_true",
+        help="run the grid a second time against the caches the first "
+        "pass populated; records cold vs warm wall times and the warm "
+        "pass's cache hit rate in the bench snapshot",
+    )
+    p_sweep.add_argument(
+        "--min-cache-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit nonzero unless the (warm, with --bench-repeat) "
+        "cache hit rate reaches RATE (e.g. 1.0); CI uses this to pin "
+        "incremental caching",
     )
     p_sweep.add_argument("--json", action="store_true",
                          help="print the bench payload as JSON instead of text")

@@ -24,6 +24,7 @@ __all__ = [
     "cache_key",
     "cache_path",
     "cached_run",
+    "cached_run_ex",
     "clear_cache",
     "fmt_percent",
     "fmt_ratio",
@@ -146,7 +147,7 @@ def store_result(key: str, result: RunResult, use_disk: bool = True) -> None:
             _write_atomic(path, json.dumps(_result_to_dict(result)))
 
 
-def cached_run(
+def cached_run_ex(
     workload: str,
     safety: SafetyMode,
     threading: GPUThreading = GPUThreading.HIGHLY,
@@ -154,8 +155,16 @@ def cached_run(
     ops_scale: float = 1.0,
     downgrade_interval_cycles: Optional[float] = None,
     use_disk: bool = True,
-) -> RunResult:
-    """Run (or retrieve) one simulation. Border traces are never cached."""
+) -> Tuple[RunResult, str]:
+    """Run (or retrieve) one simulation, reporting where the result came from.
+
+    Returns ``(result, source)`` with ``source`` one of ``"memory"``,
+    ``"disk"``, or ``"computed"``. The provenance is the ground truth for
+    cache-hit accounting: callers must not re-derive it from a separate
+    ``cache_path(...).exists()`` probe, which races against concurrent
+    writers (another worker can publish the entry between the probe and
+    the lookup, or vice versa) and misreports hits either way.
+    """
     key = _key(
         workload,
         safety,
@@ -166,13 +175,13 @@ def cached_run(
     )
     mem_key = _memory_key(key)
     if mem_key in _memory_cache:
-        return _memory_cache[mem_key]
+        return _memory_cache[mem_key], "memory"
     path = cache_path(key)
     if use_disk and path.exists():
         try:
             result = _result_from_dict(json.loads(path.read_text()))
             _memory_cache[mem_key] = result
-            return result
+            return result, "disk"
         except FileNotFoundError:
             pass  # another process replaced/unlinked it mid-read; recompute
         except (ValueError, TypeError, KeyError):
@@ -194,6 +203,28 @@ def cached_run(
     if use_disk:
         path.parent.mkdir(parents=True, exist_ok=True)
         _write_atomic(path, json.dumps(_result_to_dict(result)))
+    return result, "computed"
+
+
+def cached_run(
+    workload: str,
+    safety: SafetyMode,
+    threading: GPUThreading = GPUThreading.HIGHLY,
+    seed: int = 1234,
+    ops_scale: float = 1.0,
+    downgrade_interval_cycles: Optional[float] = None,
+    use_disk: bool = True,
+) -> RunResult:
+    """Run (or retrieve) one simulation. Border traces are never cached."""
+    result, _source = cached_run_ex(
+        workload,
+        safety,
+        threading,
+        seed=seed,
+        ops_scale=ops_scale,
+        downgrade_interval_cycles=downgrade_interval_cycles,
+        use_disk=use_disk,
+    )
     return result
 
 

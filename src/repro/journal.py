@@ -49,11 +49,14 @@ def journal_dir(cache_dir: Optional[Path] = None) -> Path:
 
     The cache dir honors ``REPRO_CACHE_DIR`` exactly like the result
     cache (see :mod:`repro.experiments.common`), so sweep workers,
-    tests, and resumed runs all agree on the location.
+    tests, and resumed runs all agree on the location. The path is
+    resolved to an absolute one for the same reason sweep workers are
+    pinned to a resolved cache dir: a process whose working directory
+    differs from the parent's must not journal somewhere else.
     """
     if cache_dir is None:
         cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", ".exp_cache"))
-    return Path(cache_dir) / "journals"
+    return Path(cache_dir).resolve() / "journals"
 
 
 def new_run_id() -> str:

@@ -323,6 +323,17 @@ class Cache(MemoryPort):
             cache_set.clear()
         return lost
 
+    def reset(self) -> None:
+        """Warm-reuse reset: drop every line and in-flight fill, silently.
+
+        Unlike :meth:`invalidate_all` this is not a modeled hardware
+        operation — it returns the cache to its post-construction state
+        between simulations (counters are zeroed separately through the
+        owning :class:`StatDomain`)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._pending.clear()
+
     # -- introspection ------------------------------------------------------
 
     def dirty_lines(self) -> List[Line]:

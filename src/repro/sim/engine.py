@@ -472,6 +472,21 @@ class Engine:
             raise SimulationError(f"process {proc.name} deadlocked (queue drained)")
         return proc.value
 
+    def reset(self) -> None:
+        """Return the engine to its post-construction state.
+
+        Drops every queued entry (parked processes are abandoned — their
+        generators are simply garbage collected) and rewinds the clock and
+        the sequence counter, so a subsequent run schedules with exactly
+        the same ``(when, seq)`` keys a freshly built engine would.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self._queue.clear()
+        self._ready.clear()
+        self._seq = itertools.count()
+        self.now = 0
+
     @property
     def pending_events(self) -> int:
         return len(self._queue) + len(self._ready)
@@ -662,6 +677,12 @@ class BandwidthServer:
             return 0.0
         return min(1.0, self.busy_ticks / float(elapsed_ticks))
 
+    def reset(self) -> None:
+        """Forget all traffic: the channel is idle and free at time zero."""
+        self._free_num = 0
+        self.bytes_served = 0
+        self.busy_ticks = 0.0
+
 
 class Resource:
     """A counting semaphore with FIFO queueing (e.g. MSHRs, issue slots)."""
@@ -697,3 +718,8 @@ class Resource:
             self._waiting.popleft().succeed()
         else:
             self._in_use -= 1
+
+    def reset(self) -> None:
+        """Drop all holders and waiters (the engine queue was reset too)."""
+        self._in_use = 0
+        self._waiting.clear()

@@ -276,6 +276,8 @@ class _Supervisor:
         on_outcome: Optional[OnOutcomeFn],
         initializer: Optional[Callable],
         initargs: Tuple,
+        serial_setup: Optional[Callable[[], None]] = None,
+        serial_teardown: Optional[Callable[[], None]] = None,
     ) -> None:
         self.fn = fn
         self.tasks = tasks
@@ -288,6 +290,8 @@ class _Supervisor:
         self.on_outcome = on_outcome
         self.initializer = initializer
         self.initargs = initargs
+        self.serial_setup = serial_setup
+        self.serial_teardown = serial_teardown
         self.outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         self.states = [_TaskState(i) for i in range(len(tasks))]
         self.done_count = 0
@@ -362,24 +366,35 @@ class _Supervisor:
     # -- serial path -------------------------------------------------------
 
     def run_serial(self) -> List[TaskOutcome]:
-        for i, task in enumerate(self.tasks):
-            state = self.states[i]
-            while True:
-                value, error, wall, kind = traced_call(self.fn, task)
-                if error is None:
-                    self._finalize(i, TaskOutcome(value, None, wall, state.attempts + 1))
-                    break
-                delay = self._classify_failure(state, error, kind or ERROR_DETERMINISTIC, wall)
-                if delay is None:
-                    self._finalize(
-                        i,
-                        TaskOutcome(
-                            None, state.last_error, wall, state.attempts, kind
-                        ),
-                    )
-                    break
-                if delay > 0:
-                    time.sleep(delay)
+        # The in-process path never runs the pool ``initializer`` (there
+        # is no worker to initialize); callers whose tasks need ambient
+        # state — the sweep layer's installed grid context — provide a
+        # ``serial_setup`` mirroring the worker-side install, without the
+        # initializer's environment mutations leaking into this process.
+        if self.serial_setup is not None:
+            self.serial_setup()
+        try:
+            for i, task in enumerate(self.tasks):
+                state = self.states[i]
+                while True:
+                    value, error, wall, kind = traced_call(self.fn, task)
+                    if error is None:
+                        self._finalize(i, TaskOutcome(value, None, wall, state.attempts + 1))
+                        break
+                    delay = self._classify_failure(state, error, kind or ERROR_DETERMINISTIC, wall)
+                    if delay is None:
+                        self._finalize(
+                            i,
+                            TaskOutcome(
+                                None, state.last_error, wall, state.attempts, kind
+                            ),
+                        )
+                        break
+                    if delay > 0:
+                        time.sleep(delay)
+        finally:
+            if self.serial_teardown is not None:
+                self.serial_teardown()
         return [out for out in self.outcomes if out is not None]
 
     # -- parallel path -----------------------------------------------------
@@ -618,6 +633,8 @@ def supervised_map(
     on_outcome: Optional[OnOutcomeFn] = None,
     initializer: Optional[Callable] = None,
     initargs: Tuple = (),
+    serial_setup: Optional[Callable[[], None]] = None,
+    serial_teardown: Optional[Callable[[], None]] = None,
 ) -> Tuple[List[TaskOutcome], str]:
     """Run ``fn`` over ``tasks`` under supervision, preserving order.
 
@@ -627,6 +644,14 @@ def supervised_map(
     task — no pool, but the same retry/poison policy). ``on_outcome``
     fires once per task as its fate is sealed, in completion order —
     the journal layer hooks it to persist each cell.
+
+    ``initializer(*initargs)`` runs once per spawned worker process —
+    including the workers of every *rebuilt* pool, which is how
+    worker-side state (cache pinning, warm registries, shipped task
+    context) survives crash containment. The serial path never spawns
+    workers, so it never runs the initializer; ``serial_setup`` /
+    ``serial_teardown`` bracket the in-process loop for callers whose
+    task function needs the same ambient state there.
     """
     sup = _Supervisor(
         fn,
@@ -640,6 +665,8 @@ def supervised_map(
         on_outcome,
         initializer,
         initargs,
+        serial_setup=serial_setup,
+        serial_teardown=serial_teardown,
     )
     if workers <= 1 or len(tasks) <= 1:
         return sup.run_serial(), "serial"

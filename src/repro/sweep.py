@@ -15,7 +15,11 @@ function of its parameters. This module runs such grids across cores:
   deterministic ``run_single`` and ship the ``RunResult`` back whole.
   One crashed or wedged worker no longer poisons sibling cells: the
   supervisor rebuilds the pool, resubmits only the affected cells, and
-  retries transient failures with bounded backoff.
+  retries transient failures with bounded backoff. Workers are *warm*:
+  the grid is pickled once into the pool initializer (tasks are bare
+  indexes), each worker is pinned to the parent's resolved cache dir,
+  and a per-worker registry reuses constructed ``System`` instances
+  between cells via in-place reset instead of rebuilding them.
 * :func:`fan_out` — the generic ordered fan-out primitive
   (``run_chaos_campaign`` uses it for :class:`ChaosRunResult` cells,
   which bypass the disk cache).
@@ -35,7 +39,10 @@ function of its parameters. This module runs such grids across cores:
 Workers share the repaired atomic disk cache (see
 :func:`repro.experiments.common.cached_run`): entries are published via
 temp-file + ``os.replace``, so concurrent writers never expose a
-truncated JSON document to readers.
+truncated JSON document to readers. Cache-hit accounting is the
+provenance fact returned by
+:func:`repro.experiments.common.cached_run_ex` — never a separate
+file-existence probe, which races against concurrent publishers.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -61,7 +69,7 @@ from repro.errors import SweepError
 from repro.experiments import common
 from repro.journal import RunJournal
 from repro.sim.config import GPUThreading, SafetyMode
-from repro.sim.runner import RunResult, run_single
+from repro.sim.runner import RunResult, clear_warm_registry, run_single
 from repro.supervisor import (
     SupervisorPolicy,
     SupervisorStats,
@@ -80,6 +88,7 @@ __all__ = [
     "dedup_cells",
     "fan_out",
     "grid_cells",
+    "parallel_measurement_validity",
     "prewarm",
     "resolve_workers",
     "run_sweep",
@@ -87,7 +96,7 @@ __all__ = [
     "write_bench",
 ]
 
-BENCH_SCHEMA = "repro-sweep-bench-v2"
+BENCH_SCHEMA = "repro-sweep-bench-v3"
 
 #: Grids :func:`grid_cells` knows how to build (``chaos`` is separate —
 #: see :func:`repro.sim.runner.run_chaos_campaign`, which takes
@@ -337,24 +346,87 @@ def resolve_workers(workers: Optional[int]) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
-    """Pin the worker to the parent's cache dir with a cold memory cache.
+#: The sweep's shared task context: ``(cells, use_disk, fresh)``. Cells
+#: are pickled *once* per sweep into the worker initializer and installed
+#: here, so each task crossing the pool boundary afterwards is a bare
+#: int index instead of a re-pickled Cell per submission. The parent
+#: installs the same context around the supervisor's in-process serial
+#: path (which never runs pool initializers).
+_grid_context: Optional[Tuple[Tuple[Cell, ...], bool, bool]] = None
 
-    With the ``fork`` start method workers inherit the parent's memoized
-    results; clearing them makes every worker's disk-hit accounting (and
-    its actual compute) independent of parent state, and keeps behavior
-    identical under ``spawn``.
+
+def _install_grid(cells: Sequence[Cell], use_disk: bool, fresh: bool) -> None:
+    global _grid_context
+    _grid_context = (tuple(cells), use_disk, fresh)
+
+
+def _clear_grid() -> None:
+    global _grid_context
+    _grid_context = None
+
+
+def _worker_init(
+    cache_dir: Optional[str],
+    grid_blob: Optional[bytes] = None,
+    warm: bool = False,
+) -> None:
+    """Initialize one pool worker: cache pinning, warm reuse, task context.
+
+    * **Cache dir** — the worker is pinned to the parent's *resolved*
+      cache dir, unconditionally. The old behavior popped
+      ``REPRO_CACHE_DIR`` when the parent's environment lacked it, so a
+      parent using the default dir and a worker with a different working
+      directory (or an inherited stale env under ``fork``) silently
+      cached to different places. A ``None`` argument now means "resolve
+      the default here" rather than "unpin".
+    * **Memory cache** — cleared. With ``fork`` workers inherit the
+      parent's memoized results; clearing them makes every worker's
+      hit accounting (and its actual compute) independent of parent
+      state, and keeps behavior identical under ``spawn``.
+    * **Warm registry** — ``warm=True`` turns on per-worker ``System``
+      reuse (:mod:`repro.sim.runner`); any instances inherited via
+      ``fork`` are dropped so the worker warms up from its own runs.
+    * **Task context** — ``grid_blob`` (the sweep's cells, pickled once
+      in the parent) is installed for :func:`_run_cell`'s int tasks.
+
+    Pool rebuilds after a worker crash re-run this initializer in every
+    replacement worker, so the context and warm state re-establish
+    themselves lazily — no parent-side bookkeeping.
     """
     if cache_dir is None:
-        os.environ.pop("REPRO_CACHE_DIR", None)
-    else:
-        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        cache_dir = str(Path(common._cache_dir()).resolve())
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    os.environ["REPRO_WARM"] = "1" if warm else "0"
     common._memory_cache.clear()
+    clear_warm_registry()
+    if grid_blob is not None:
+        _install_grid(*pickle.loads(grid_blob))
+    else:
+        _clear_grid()
 
 
-def _run_cell(task: Tuple[Cell, bool, bool]) -> Tuple[RunResult, bool]:
-    """Execute one cell; returns (result, disk-cache hit)."""
-    cell, use_disk, fresh = task
+def _run_cell(task: Union[int, Tuple[Cell, bool, bool]]) -> Tuple[RunResult, bool]:
+    """Execute one cell; returns ``(result, cache_hit)``.
+
+    Tasks are normally int indexes into the installed grid context;
+    legacy ``(Cell, use_disk, fresh)`` tuples are still accepted (repro
+    bundles and direct callers use them).
+
+    The hit flag is the provenance fact reported by
+    :func:`repro.experiments.common.cached_run_ex` — *not* a separate
+    existence probe of the cache file, which races against concurrent
+    workers publishing the same key and misreports either way.
+    """
+    if isinstance(task, int):
+        if _grid_context is None:
+            raise RuntimeError(
+                "sweep task is an index but no grid context is installed "
+                "in this process (worker initializer did not run?)"
+            )
+        cells, use_disk, fresh = _grid_context
+        cell = cells[task]
+    else:
+        cell, use_disk, fresh = task
     if fresh or not cell.cacheable:
         result = run_single(
             cell.workload,
@@ -366,8 +438,7 @@ def _run_cell(task: Tuple[Cell, bool, bool]) -> Tuple[RunResult, bool]:
             downgrade_interval_cycles=cell.downgrade_interval_cycles,
         )
         return result, False
-    hit = use_disk and common.cache_path(cell.key()).exists()
-    result = common.cached_run(
+    result, source = common.cached_run_ex(
         cell.workload,
         cell.safety,
         cell.threading,
@@ -376,11 +447,20 @@ def _run_cell(task: Tuple[Cell, bool, bool]) -> Tuple[RunResult, bool]:
         downgrade_interval_cycles=cell.downgrade_interval_cycles,
         use_disk=use_disk,
     )
-    return result, hit
+    return result, source != "computed"
 
 
 def _describe_cell_task(task: Any) -> Optional[Dict[str, Any]]:
-    """Repro-bundle recipe for a sweep task (``replay-cell`` consumes it)."""
+    """Repro-bundle recipe for a sweep task (``replay-cell`` consumes it).
+
+    Bundles always embed the full cell parameters — int tasks are
+    resolved through the installed grid context so a quarantined cell
+    stays replayable long after the sweep (and its context) is gone.
+    """
+    if isinstance(task, int) and _grid_context is not None:
+        cells = _grid_context[0]
+        if 0 <= task < len(cells):
+            return {"kind": "sweep", "cell": cells[task].to_dict()}
     if (
         isinstance(task, tuple)
         and len(task) == 3
@@ -416,6 +496,7 @@ def fan_out(
     stats: Optional[SupervisorStats] = None,
     describe_task: Optional[Callable[[Any], Optional[Dict[str, Any]]]] = None,
     on_outcome: Optional[Callable[[int, TaskOutcome], None]] = None,
+    grid: Optional[Tuple[Sequence[Cell], bool, bool]] = None,
 ) -> Tuple[List[TaskOutcome], str]:
     """Run ``fn`` over ``tasks`` on a supervised process pool, in order.
 
@@ -426,18 +507,46 @@ def fan_out(
     in-process for ``workers <= 1`` or a single task — no pool
     overhead, bit-identical results).
 
+    Workers are always pinned to the parent's *resolved* cache dir (the
+    initializer receives it explicitly — a worker never falls back to
+    its own environment or working directory).
+
+    ``grid=(cells, use_disk, fresh)`` ships the sweep's cell list to
+    the workers **once**, pickled into the pool initializer, and turns
+    on per-worker warm ``System`` reuse; ``fn``'s tasks can then be
+    bare int indexes into that list. On the in-process serial path the
+    same context is installed directly (pool initializers never run
+    there) — but warm reuse stays *off* in the parent, so a serial
+    reference run (``verify_identical``) is always an independent
+    fresh-construction build.
+
     Supervision (see :mod:`repro.supervisor`): a dead worker fails only
     the cells it was actually running — with the real exception type in
     the outcome — and the pool is rebuilt for the rest; transient
     failures retry with bounded backoff; repeating deterministic
     failures are quarantined as poison with a replayable repro bundle
     under ``<cache-dir>/quarantine/``. ``SupervisorPolicy(retries=0)``
-    disables retries but keeps the crash containment.
+    disables retries but keeps the crash containment. Replacement
+    workers re-run the initializer, so the shipped grid and warm
+    registry re-establish themselves lazily after every rebuild.
 
     ``progress(done, total, label, error)`` fires as each cell's fate
     is sealed, in completion order.
     """
     workers = resolve_workers(workers)
+    cache_dir = str(Path(common._cache_dir()).resolve())
+    grid_blob: Optional[bytes] = None
+    serial_setup = serial_teardown = None
+    if grid is not None:
+        cells, use_disk, fresh = grid
+        grid_blob = pickle.dumps(
+            (tuple(cells), use_disk, fresh), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+        def serial_setup() -> None:
+            _install_grid(cells, use_disk, fresh)
+
+        serial_teardown = _clear_grid
     return supervised_map(
         fn,
         tasks,
@@ -449,7 +558,9 @@ def fan_out(
         describe_task=describe_task,
         on_outcome=on_outcome,
         initializer=_worker_init,
-        initargs=(os.environ.get("REPRO_CACHE_DIR"),),
+        initargs=(cache_dir, grid_blob, grid is not None),
+        serial_setup=serial_setup,
+        serial_teardown=serial_teardown,
     )
 
 
@@ -470,6 +581,14 @@ def run_sweep(
     ``RunResult`` objects. ``fresh=True`` bypasses every cache layer
     (each cell recomputed from scratch); :func:`verify_identical` uses
     it to build an independent serial reference.
+
+    Parallel workers build their interpreter/import/System state once:
+    each keeps a warm registry of constructed ``System`` instances
+    (keyed by config) and resets one in place between cells instead of
+    re-constructing — construction reuse, not result caching, and
+    proven bit-identical to fresh builds by :func:`verify_identical`.
+    The parent process never warms, so serial runs (and the verify
+    reference) stay independent fresh-construction builds.
 
     With a ``journal``, cells whose key already has a successful entry
     are rehydrated from it (``resumed`` outcomes — zero recompute), and
@@ -508,8 +627,10 @@ def run_sweep(
         if journal is None:
             return
         result_payload = None
+        cache_hit = False
         if out.ok and out.value is not None and cell.cacheable:
             result_payload = common._result_to_dict(out.value[0])
+            cache_hit = bool(out.value[1])
         journal.record(
             cell.journal_key(),
             {
@@ -519,13 +640,26 @@ def run_sweep(
                 "wall_seconds": round(out.wall_seconds, 6),
                 "attempts": out.attempts,
                 "cacheable": cell.cacheable,
+                "cache_hit": cache_hit,
                 "result": result_payload,
             },
         )
 
     mode = "serial"
     if pending:
-        tasks = [(cells[i], use_disk, fresh) for i in pending]
+        # Tasks are bare indexes; the cells themselves are pickled once
+        # into the worker initializer (and installed around the serial
+        # path), not re-shipped per task.
+        task_cells = [cells[i] for i in pending]
+        tasks = list(range(len(task_cells)))
+
+        def label_of(task: Any) -> str:
+            return task_cells[task].label if isinstance(task, int) else str(task)
+
+        def describe_task(task: Any) -> Optional[Dict[str, Any]]:
+            if isinstance(task, int):
+                return {"kind": "sweep", "cell": task_cells[task].to_dict()}
+            return _describe_cell_task(task)
 
         def guarded() -> Tuple[List[TaskOutcome], str]:
             return fan_out(
@@ -533,11 +667,12 @@ def run_sweep(
                 tasks,
                 workers=workers,
                 progress=progress,
-                label_of=lambda task: task[0].label,
+                label_of=label_of,
                 policy=policy,
                 stats=stats,
-                describe_task=_describe_cell_task,
+                describe_task=describe_task,
                 on_outcome=on_outcome,
+                grid=(task_cells, use_disk, fresh),
             )
 
         if journal is not None:
@@ -698,25 +833,72 @@ def dedup_cells(cells: Sequence[Cell]) -> List[Cell]:
     return unique
 
 
+def parallel_measurement_validity(
+    report: SweepReport, cpu_count: Optional[int] = None
+) -> Tuple[bool, Optional[str]]:
+    """Can this report honestly be labeled a *parallel speedup* measurement?
+
+    Returns ``(valid, reason)`` with ``reason`` set when invalid. A run
+    on a single CPU core, in serial mode, or with one worker measures
+    scheduling overhead, not parallelism — a previous snapshot claimed
+    a 2-worker "speedup" from a ``cpu_count: 1`` box, which this refuses
+    to repeat.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if report.mode != "parallel":
+        return False, f"serial mode ({report.workers} worker(s))"
+    if report.workers < 2:
+        return False, "fewer than 2 workers"
+    if cpus < 2:
+        return (
+            False,
+            f"only {cpus} CPU core available — {report.workers} workers "
+            "time-slice one core, so wall-clock ratios measure scheduling, "
+            "not parallelism",
+        )
+    if report.workers > cpus:
+        return (
+            False,
+            f"{report.workers} workers oversubscribe {cpus} CPU cores",
+        )
+    return True, None
+
+
 def write_bench(
     path: Union[str, Path],
     report: SweepReport,
     grids: Sequence[str],
     serial_wall_seconds: Optional[float] = None,
     verified_identical: Optional[bool] = None,
+    warm_report: Optional["SweepReport"] = None,
     extra: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Write the ``BENCH_sweep.json`` perf snapshot; returns the payload.
 
     ``speedup`` is measured (parallel vs. a real serial run) when
-    ``serial_wall_seconds`` is given, otherwise estimated from summed
-    per-cell times. The file is published atomically (temp file +
-    ``os.replace``) so a killed run never leaves a truncated snapshot.
-    Schema: :data:`BENCH_SCHEMA`.
+    ``serial_wall_seconds`` is given **and** the run qualifies as a
+    parallel measurement (see :func:`parallel_measurement_validity`) —
+    otherwise it is ``null`` with the refusal recorded in
+    ``parallel_invalid_reason``. ``speedup_per_worker`` is the measured
+    speedup normalized by worker count (1.0 == perfect scaling).
+
+    ``warm_report`` is a repeat run of the same grid against the caches
+    the first run populated; its wall time and hit rate land in the
+    ``warm_*`` fields (``cold_wall_seconds`` is then the first run's).
+
+    The file is published atomically (temp file + ``os.replace``) so a
+    killed run never leaves a truncated snapshot. Schema:
+    :data:`BENCH_SCHEMA`.
     """
     walls = sorted(out.wall_seconds for out in report.outcomes)
+    cpus = os.cpu_count()
+    parallel_valid, invalid_reason = parallel_measurement_validity(report, cpus)
     speedup = None
-    if serial_wall_seconds is not None and report.wall_seconds > 0:
+    if (
+        parallel_valid
+        and serial_wall_seconds is not None
+        and report.wall_seconds > 0
+    ):
         speedup = serial_wall_seconds / report.wall_seconds
     supervisor = report.stats.as_dict()
     supervisor["resumed_cells"] = max(
@@ -727,13 +909,30 @@ def write_bench(
         "grids": list(grids),
         "cells": len(report.outcomes),
         "workers": report.workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
         "mode": report.mode,
+        "parallel_measurement_valid": parallel_valid,
+        "parallel_invalid_reason": invalid_reason,
         "wall_seconds": round(report.wall_seconds, 4),
+        "cold_wall_seconds": round(report.wall_seconds, 4),
+        "warm_wall_seconds": (
+            None if warm_report is None else round(warm_report.wall_seconds, 4)
+        ),
+        "warm_cache_hit_rate": (
+            None if warm_report is None else round(warm_report.cache_hit_rate, 4)
+        ),
+        "warm_speedup": (
+            None
+            if warm_report is None or warm_report.wall_seconds <= 0
+            else round(report.wall_seconds / warm_report.wall_seconds, 3)
+        ),
         "serial_wall_seconds": (
             None if serial_wall_seconds is None else round(serial_wall_seconds, 4)
         ),
         "speedup": None if speedup is None else round(speedup, 3),
+        "speedup_per_worker": (
+            None if speedup is None else round(speedup / report.workers, 3)
+        ),
         "speedup_estimate": round(report.speedup_estimate, 3),
         "sims_per_minute": round(report.sims_per_minute, 2),
         "cache_hit_rate": round(report.cache_hit_rate, 4),

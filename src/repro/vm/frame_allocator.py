@@ -5,6 +5,15 @@ allocations (page-table nodes, Protection Tables — which the OS must carve
 out of physical memory as a flat region, paper §3.1.1) and explicit
 reservations (e.g. frame 0 is kept unmapped to catch null physical
 pointers).
+
+The free pool is represented as the complement of ``_used`` within the
+allocator's window rather than as a materialized set of every free PPN:
+a frame is free iff it lies in ``[base_frame, num_frames)`` and is not in
+``_used``. Construction and :meth:`reset` are therefore O(reserved
+frames) instead of O(window size) — the window covers hundreds of
+thousands of frames, and every scan the allocator performs already
+iterates ascending ``range``\\ s doing membership tests, so the two
+representations produce bit-identical allocation orders.
 """
 
 from __future__ import annotations
@@ -46,7 +55,7 @@ class FrameAllocator:
         self.base_frame = base_frame
         self.num_frames = end_frame  # exclusive upper bound of the window
         first_free = max(base_frame, reserve_low_frames)
-        self._free: Set[int] = set(range(first_free, end_frame))
+        self._initial_used_end = first_free
         self._used: Set[int] = set(range(base_frame, first_free))
         self._next_hint = first_free
 
@@ -54,7 +63,7 @@ class FrameAllocator:
 
     @property
     def free_frames(self) -> int:
-        return len(self._free)
+        return (self.num_frames - self.base_frame) - len(self._used)
 
     @property
     def used_frames(self) -> int:
@@ -63,15 +72,17 @@ class FrameAllocator:
     def is_allocated(self, ppn: int) -> bool:
         return ppn in self._used
 
+    def is_free(self, ppn: int) -> bool:
+        return self.base_frame <= ppn < self.num_frames and ppn not in self._used
+
     # -- allocation --------------------------------------------------------
 
     def alloc(self, zero: bool = True) -> int:
         """Allocate one frame; returns its PPN."""
-        if not self._free:
+        if self.free_frames == 0:
             raise OutOfFramesError("no free physical frames")
         # Prefer an ascending scan from the hint for locality/determinism.
         ppn = self._scan_from(self._next_hint)
-        self._free.discard(ppn)
         self._used.add(ppn)
         self._next_hint = ppn + 1
         if zero:
@@ -89,17 +100,16 @@ class FrameAllocator:
             raise ValueError("count must be positive")
         if align <= 0:
             raise ValueError("alignment must be positive")
+        used = self._used
         run = 0
-        for ppn in range(self.num_frames):
-            if ppn in self._free:
+        for ppn in range(self.base_frame, self.num_frames):
+            if ppn not in used:
                 run += 1
                 if run >= count:
                     base = ppn - count + 1
                     if base % align:
                         continue  # keep extending until an aligned base fits
-                    for f in range(base, base + count):
-                        self._free.discard(f)
-                        self._used.add(f)
+                    used.update(range(base, base + count))
                     if zero:
                         self.phys.zero_range(base << PAGE_SHIFT, count * PAGE_SIZE)
                     return base
@@ -112,7 +122,6 @@ class FrameAllocator:
         if ppn not in self._used:
             raise MemoryError_(f"double free of frame {ppn:#x}")
         self._used.discard(ppn)
-        self._free.add(ppn)
         if ppn < self._next_hint:
             self._next_hint = ppn
 
@@ -121,13 +130,27 @@ class FrameAllocator:
             self.free(ppn)
 
     def _scan_from(self, start: int) -> int:
-        for ppn in range(start, self.num_frames):
-            if ppn in self._free:
+        used = self._used
+        lo = self.base_frame
+        hi = self.num_frames
+        if start < lo:
+            start = lo
+        for ppn in range(start, hi):
+            if ppn not in used:
                 return ppn
-        for ppn in range(start):
-            if ppn in self._free:
+        for ppn in range(lo, min(start, hi)):
+            if ppn not in used:
                 return ppn
         raise OutOfFramesError("no free physical frames")
 
     def snapshot_used(self) -> List[int]:
         return sorted(self._used)
+
+    # -- warm reuse --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the post-construction state: every non-reserved frame
+        in the window is free again. O(reserved frames)."""
+        self._used.clear()
+        self._used.update(range(self.base_frame, self._initial_used_end))
+        self._next_hint = self._initial_used_end

@@ -124,6 +124,11 @@ class TLB:
         self._entries.clear()
         return count
 
+    def reset(self) -> None:
+        """Warm-reuse reset: drop every entry without counting a shootdown
+        (counters are zeroed separately through the owning StatDomain)."""
+        self._entries.clear()
+
     # -- introspection ------------------------------------------------------
 
     @property

@@ -238,9 +238,62 @@ class TestSweepMechanics:
         assert on_disk == payload
         assert on_disk["schema"] == sweep.BENCH_SCHEMA
         assert on_disk["cells"] == 1
-        assert on_disk["speedup"] == pytest.approx(2.0)
+        # A serial run is not a parallel measurement: the snapshot must
+        # refuse the speedup label rather than report one.
+        assert on_disk["parallel_measurement_valid"] is False
+        assert "serial" in on_disk["parallel_invalid_reason"]
+        assert on_disk["speedup"] is None
+        assert on_disk["speedup_per_worker"] is None
+        assert on_disk["cold_wall_seconds"] == on_disk["wall_seconds"]
+        assert on_disk["warm_wall_seconds"] is None
         assert on_disk["verified_identical"] is True
         assert on_disk["cells_detail"][0]["ok"] is True
+
+    def test_write_bench_warm_repeat_fields(self, tmp_path):
+        cells = [_bfs_cell()]
+        cold = sweep.run_sweep(cells, workers=1)
+        warm = sweep.run_sweep(cells, workers=1)
+        out = tmp_path / "BENCH_sweep.json"
+        payload = sweep.write_bench(out, cold, ["fig4"], warm_report=warm)
+        assert payload["cold_wall_seconds"] == payload["wall_seconds"]
+        assert payload["warm_wall_seconds"] == pytest.approx(
+            warm.wall_seconds, abs=1e-4
+        )
+        assert payload["warm_cache_hit_rate"] == 1.0
+        assert payload["warm_speedup"] >= 1.0
+
+    def test_parallel_measurement_validity_matrix(self):
+        def fake(mode, workers):
+            return sweep.SweepReport(
+                outcomes=[], workers=workers, wall_seconds=1.0, mode=mode
+            )
+
+        ok, reason = sweep.parallel_measurement_validity(
+            fake("parallel", 2), cpu_count=4
+        )
+        assert ok and reason is None
+        for report, cpus, fragment in [
+            (fake("serial", 1), 4, "serial"),
+            (fake("parallel", 1), 4, "workers"),
+            (fake("parallel", 2), 1, "CPU core"),
+            (fake("parallel", 8), 2, "oversubscribe"),
+        ]:
+            ok, reason = sweep.parallel_measurement_validity(report, cpu_count=cpus)
+            assert not ok and fragment in reason
+
+    def test_write_bench_speedup_when_parallel_is_genuine(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        report = sweep.SweepReport(
+            outcomes=[], workers=2, wall_seconds=1.0, mode="parallel"
+        )
+        payload = sweep.write_bench(
+            tmp_path / "b.json", report, ["fig4"], serial_wall_seconds=3.0
+        )
+        assert payload["parallel_measurement_valid"] is True
+        assert payload["speedup"] == pytest.approx(3.0)
+        assert payload["speedup_per_worker"] == pytest.approx(1.5)
 
 
 class TestChaosCampaignParallel:
@@ -381,7 +434,11 @@ class TestJournalResume:
         real_fan_out = sweep.fan_out
 
         def spying_fan_out(fn, tasks, **kwargs):
-            executed.extend(task[0].label for task in tasks)
+            grid = kwargs.get("grid")
+            executed.extend(
+                grid[0][task].label if isinstance(task, int) else task[0].label
+                for task in tasks
+            )
             return real_fan_out(fn, tasks, **kwargs)
 
         monkeypatch.setattr(sweep, "fan_out", spying_fan_out)
