@@ -21,6 +21,10 @@ Subcommands:
   replayable poison-cell bundles and the exit status is nonzero.
 * ``replay-cell`` — re-run a quarantined poison-cell repro bundle
   in-process (no pool, no retries) so the failure surfaces directly.
+* ``serve`` — run the multi-tenant simulation job server
+  (``repro.service``): sweep/chaos/recovery/verify jobs over HTTP with
+  per-tenant quotas, durable crash-tolerant job state, and graceful
+  drain on SIGTERM. See ``docs/API.md``.
 * ``workloads`` — list the available workload specs.
 
 ``report``, ``export``, ``fig4``-``fig7``, ``chaos``, ``recovery``, and
@@ -259,6 +263,39 @@ def _print_result(result) -> None:
     print(f"DRAM bytes:          {result.dram_bytes}")
     print(f"DRAM utilization:    {result.dram_utilization:.3f}")
     print(f"violations:          {result.violations}")
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """``serve``: run the asyncio job server until a signal drains it."""
+    import asyncio
+
+    from repro.journal import JournalLockedError
+    from repro.service import ServiceConfig, TenantQuota, serve_until_complete
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        service_id=args.service_id,
+        quota=TenantQuota(
+            max_queued=args.max_queued,
+            max_running=args.max_running,
+            submit_rate=args.submit_rate,
+            submit_burst=args.submit_burst,
+        ),
+        max_total_queued=args.max_total_queued,
+        max_concurrent=args.max_concurrent,
+        drain_grace_seconds=args.drain_grace,
+        log=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    try:
+        return asyncio.run(serve_until_complete(config))
+    except JournalLockedError as exc:
+        print(
+            f"error: another replica already serves "
+            f"service id {args.service_id!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 def _replay_cell(
@@ -563,6 +600,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_replay.add_argument("--json", action="store_true",
                           help="emit the replayed result as JSON")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant simulation job server (repro.service)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7455,
+        help="listen port (0 = ephemeral; default 7455)",
+    )
+    p_serve.add_argument(
+        "--service-id", default="default",
+        help="journal namespace; restarting with the same id recovers jobs",
+    )
+    p_serve.add_argument(
+        "--max-concurrent", type=int, default=1,
+        help="jobs executing at once (each may use its own worker pool)",
+    )
+    p_serve.add_argument(
+        "--max-queued", type=int, default=8,
+        help="per-tenant queued-job quota (excess is rejected with 429)",
+    )
+    p_serve.add_argument(
+        "--max-running", type=int, default=2,
+        help="per-tenant running-job quota (fair-share enforced)",
+    )
+    p_serve.add_argument(
+        "--submit-rate", type=float, default=5.0,
+        help="sustained submissions/second per tenant (token bucket)",
+    )
+    p_serve.add_argument(
+        "--submit-burst", type=int, default=10,
+        help="token-bucket burst size per tenant",
+    )
+    p_serve.add_argument(
+        "--max-total-queued", type=int, default=64,
+        help="global queue bound across all tenants",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="seconds running jobs get to finish after SIGTERM",
+    )
+
     args = parser.parse_args(argv)
     ops_scale = 0.25 if getattr(args, "quick", False) else 1.0
     journal = _open_journal(parser, args)
@@ -778,6 +857,9 @@ def _dispatch(
 
     if args.command == "replay-cell":
         return _replay_cell(parser, args)
+
+    if args.command == "serve":
+        return _serve(args)
 
     if args.command == "workloads":
         from repro.workloads import WORKLOADS

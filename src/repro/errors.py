@@ -22,6 +22,8 @@ __all__ = [
     "SimulationIncompleteError",
     "SweepError",
     "TransientCellError",
+    "JournalLockedError",
+    "JobCancelled",
 ]
 
 
@@ -146,6 +148,41 @@ class SweepError(ReproError):
         super().__init__(f"{len(failures)} sweep cell(s) failed: {summary}")
         self.failures = failures
         self.outcomes = list(outcomes) if outcomes is not None else None
+
+
+class JournalLockedError(ReproError):
+    """Another live process holds the run journal for this run id.
+
+    Run journals are single-writer: two writers interleaving appends to
+    one journal would corrupt the last-wins replay semantics. The lock
+    is advisory (``flock``) and held for the journal's open lifetime,
+    so it vanishes with the holding process — a SIGKILLed server never
+    leaves a stale lock behind.
+    """
+
+    def __init__(self, run_id: str, path, holder: str = "") -> None:
+        detail = f" (held by {holder})" if holder else ""
+        super().__init__(
+            f"journal for run {run_id!r} is locked by another live "
+            f"process{detail}: {path}"
+        )
+        self.run_id = run_id
+        self.path = path
+        self.holder = holder
+
+
+class JobCancelled(ReproError):
+    """A campaign was cancelled cooperatively between cells.
+
+    Raised by the chaos/recovery campaign loops when their
+    ``should_abort`` callback turns true (job cancellation, server
+    drain, or a per-job deadline). Cells completed before the abort are
+    already journaled, so a resumed run re-executes only the remainder.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 class BorderControlViolation(ReproError):

@@ -24,6 +24,7 @@ safe (the cost is recomputation, never correctness).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import signal
@@ -31,10 +32,18 @@ import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
+
+try:  # advisory journal locking (POSIX; a no-op where flock is missing)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import JournalLockedError
 
 __all__ = [
     "JOURNAL_SCHEMA",
+    "JournalLockedError",
     "RunJournal",
     "journal_dir",
     "list_runs",
@@ -89,8 +98,54 @@ class RunJournal:
         self._entries: Dict[str, dict] = {}
         self._fh = None
         self._lock = threading.Lock()
+        self._lock_fh = None
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _acquire_writer_lock(self) -> None:
+        """Become this journal's single live writer (advisory ``flock``).
+
+        Two server replicas (or a replica plus a CLI resume) must never
+        interleave appends to one journal: last-wins replay is only
+        sound when appends are totally ordered by a single writer. The
+        lock lives in a ``<run-id>.jsonl.lock`` sidecar and is held for
+        the journal's open lifetime; the kernel releases it when the
+        holder dies (even via SIGKILL), so there is no stale-lease
+        recovery problem. Raises :class:`JournalLockedError` when
+        another live process (or another open journal in this process)
+        already holds it.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        lock_path = self.path.parent / (self.path.name + ".lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        lock_fh = open(lock_path, "a+")
+        try:
+            fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            try:
+                lock_fh.seek(0)
+                holder = lock_fh.read(256).strip()
+            except OSError:
+                holder = ""
+            lock_fh.close()
+            raise JournalLockedError(self.run_id, lock_path, holder) from None
+        # Diagnostics for the *next* contender's error message.
+        lock_fh.seek(0)
+        lock_fh.truncate()
+        lock_fh.write(f"pid {os.getpid()} since {time.strftime('%Y-%m-%dT%H:%M:%S')}\n")
+        lock_fh.flush()
+        self._lock_fh = lock_fh
+
+    def _release_writer_lock(self) -> None:
+        if self._lock_fh is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self._lock_fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            self._lock_fh.close()
+            self._lock_fh = None
 
     @classmethod
     def create(
@@ -107,6 +162,7 @@ class RunJournal:
                 f"use --resume {run_id} or pick another --run-id"
             )
         journal = cls(path, run_id)
+        journal._acquire_writer_lock()
         journal._fh = open(path, "a")
         journal._append(
             {"schema": JOURNAL_SCHEMA, "run_id": run_id, "created": time.time()}
@@ -136,6 +192,7 @@ class RunJournal:
                 )
             return cls.create(run_id, directory)
         journal = cls(path, run_id)
+        journal._acquire_writer_lock()
         with open(path) as fh:
             for line in fh:
                 line = line.strip()
@@ -159,6 +216,7 @@ class RunJournal:
                 finally:
                     self._fh.close()
                     self._fh = None
+            self._release_writer_lock()
 
     def __enter__(self) -> "RunJournal":
         return self
@@ -193,6 +251,15 @@ class RunJournal:
     def completed_keys(self) -> Dict[str, dict]:
         return {k: e for k, e in self._entries.items() if e.get("ok")}
 
+    def entries(self) -> Dict[str, dict]:
+        """Every keyed entry, deduped last-wins (success *and* failure).
+
+        The job server replays its durable job records through this —
+        unlike :meth:`completed_keys` it must see failed/cancelled
+        states too, not just successful ones.
+        """
+        return dict(self._entries)
+
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 
@@ -202,22 +269,77 @@ class RunJournal:
     # -- interrupt safety --------------------------------------------------
 
     @contextmanager
-    def signal_guard(self) -> Iterator[None]:
+    def signal_guard(
+        self, on_signal: Optional[Callable[[int], None]] = None
+    ) -> Iterator[None]:
         """Make SIGINT/SIGTERM resumable while a campaign runs.
 
-        Converts the first SIGTERM into a :class:`KeyboardInterrupt` so
-        the normal unwind path (pool teardown, journal close) runs, and
-        flushes the journal on the way out. Entries are already flushed
-        per-append; the guard exists so a TERM'd run dies through
-        Python's exception machinery instead of mid-write. No-op when
-        not called from the main thread (signal handlers can only be
-        installed there).
+        Synchronous path (no running asyncio loop): converts the first
+        SIGTERM into a :class:`KeyboardInterrupt` so the normal unwind
+        path (pool teardown, journal close) runs, and flushes the
+        journal on the way out. Entries are already flushed per-append;
+        the guard exists so a TERM'd run dies through Python's exception
+        machinery instead of mid-write.
+
+        Asyncio path: when a loop is running in this thread, a bare
+        ``signal.signal`` handler would raise ``KeyboardInterrupt`` at
+        an arbitrary bytecode boundary — mid-request, mid-callback —
+        bypassing the loop entirely (the old ``exit 130`` path). The
+        guard instead installs handlers via ``loop.add_signal_handler``
+        so the signal is delivered *between* loop callbacks: it flushes
+        the journal, then invokes ``on_signal(signum)`` (the job
+        server passes its drain initiator) or, with no callback,
+        cancels the current task so the signal unwinds through
+        ``CancelledError`` like a normal async cancellation.
+
+        No-op when not called from the main thread (signal handlers can
+        only be installed there).
         """
         if threading.current_thread() is not threading.main_thread():
             yield
             return
 
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            loop = None
+
+        if loop is not None:
+            task = asyncio.current_task()
+
+            def on_loop_signal(signum: int) -> None:
+                with self._lock:
+                    if self._fh is not None:
+                        self._fh.flush()
+                if on_signal is not None:
+                    on_signal(signum)
+                elif task is not None:
+                    task.cancel(f"terminated by signal {signum}")
+
+            installed = []
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, on_loop_signal, sig)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError, ValueError, OSError):
+                    pass  # pragma: no cover - non-unix event loops
+            try:
+                yield
+            finally:
+                for sig in installed:
+                    try:
+                        loop.remove_signal_handler(sig)
+                    except (NotImplementedError, RuntimeError, ValueError):
+                        pass  # pragma: no cover
+                with self._lock:
+                    if self._fh is not None:
+                        self._fh.flush()
+            return
+
         def on_term(signum, frame):
+            if on_signal is not None:
+                on_signal(signum)
+                return
             raise KeyboardInterrupt(f"terminated by signal {signum}")
 
         previous = {}

@@ -869,6 +869,7 @@ def run_recovery_campaign(
     workers: Optional[int] = 1,
     policy=None,
     journal=None,
+    should_abort=None,
 ) -> RecoveryReport:
     """Sweep recovery scenarios across workloads; returns the report.
 
@@ -916,7 +917,11 @@ def run_recovery_campaign(
     if workers is not None and workers <= 1:
         import time as _time
 
+        from repro.errors import JobCancelled
+
         for task_index, i in enumerate(pending):
+            if should_abort is not None and should_abort():
+                raise JobCancelled("recovery campaign aborted between cells")
             t0 = _time.perf_counter()
             result = _recovery_cell(cells[i])
             runs[i] = result
@@ -937,6 +942,7 @@ def run_recovery_campaign(
             policy=policy,
             describe_task=_describe_recovery_task,
             on_outcome=on_outcome,
+            should_abort=should_abort,
         )
 
     if pending:
@@ -947,6 +953,10 @@ def run_recovery_campaign(
             outcomes, _mode = dispatch()
         for i, out in zip(pending, outcomes):
             runs[i] = out.value
+        if should_abort is not None and should_abort():
+            from repro.errors import JobCancelled
+
+            raise JobCancelled("recovery campaign aborted mid-sweep")
         failures = [out.error for out in outcomes if out.error]
         if failures:
             raise SweepError(

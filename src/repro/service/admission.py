@@ -1,0 +1,188 @@
+"""``repro.service.admission`` — per-tenant quotas and rate limits.
+
+Border Control's premise is that mutually untrusted clients share one
+device and none may harm the others; the serving layer needs the same
+discipline one level up. Admission control is the *detect/contain*
+stage for tenant misbehavior: every submission is checked against
+
+* a **token-bucket submit rate** (sustained rate + burst) so a tight
+  submit loop is throttled before it costs anything,
+* a **per-tenant queue quota** (``max_queued``) so a flood of accepted
+  jobs from one tenant cannot occupy the whole queue,
+* a **per-tenant running quota** (``max_running``, enforced by the
+  fair-share scheduler at dispatch) so a tenant's jobs cannot occupy
+  every executor slot, and
+* a **global queue bound** (``max_total_queued``) so the server's
+  memory stays bounded no matter how many tenants show up.
+
+Rejections are always *explicit*: an :class:`AdmissionError` carries a
+machine-readable ``code`` and maps to HTTP 429 (quota/rate) or 503
+(draining) — never a silent drop, so a well-behaved client can back
+off and retry. Every decision is counted per tenant for ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "TenantQuota",
+    "TokenBucket",
+]
+
+#: Rejection codes (stable API, asserted by tests and the smoke).
+REJECT_RATE = "rate-limited"
+REJECT_QUEUE_FULL = "tenant-queue-full"
+REJECT_SERVER_FULL = "server-queue-full"
+REJECT_DRAINING = "draining"
+
+
+class AdmissionError(ReproError):
+    """An explicitly rejected submission (HTTP 429/503, never a drop)."""
+
+    def __init__(self, code: str, message: str, status: int = 429) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits (one shared policy; per-tenant state)."""
+
+    max_queued: int = 8
+    max_running: int = 2
+    submit_rate: float = 5.0  # sustained submissions/second
+    submit_burst: int = 10  # bucket capacity
+
+
+class TokenBucket:
+    """Classic token bucket with an injectable clock (deterministic tests)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def try_take(self) -> bool:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class _TenantAccounting:
+    __slots__ = ("bucket", "admitted", "rejected")
+
+    def __init__(self, quota: TenantQuota, clock: Callable[[], float]) -> None:
+        self.bucket = TokenBucket(quota.submit_rate, quota.submit_burst, clock)
+        self.admitted = 0
+        self.rejected: Dict[str, int] = {}
+
+
+class AdmissionController:
+    """Admit-or-reject decisions plus the per-tenant counters behind them."""
+
+    def __init__(
+        self,
+        quota: Optional[TenantQuota] = None,
+        max_total_queued: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.quota = quota or TenantQuota()
+        self.max_total_queued = max_total_queued
+        self._clock = clock
+        self._tenants: Dict[str, _TenantAccounting] = {}
+
+    def _tenant(self, tenant: str) -> _TenantAccounting:
+        acct = self._tenants.get(tenant)
+        if acct is None:
+            acct = self._tenants[tenant] = _TenantAccounting(
+                self.quota, self._clock
+            )
+        return acct
+
+    def _reject(
+        self, tenant: str, code: str, message: str, status: int = 429
+    ) -> "AdmissionError":
+        acct = self._tenant(tenant)
+        acct.rejected[code] = acct.rejected.get(code, 0) + 1
+        return AdmissionError(code, message, status=status)
+
+    def admit(
+        self,
+        tenant: str,
+        tenant_queued: int,
+        total_queued: int,
+        draining: bool = False,
+    ) -> None:
+        """Admit one submission or raise :class:`AdmissionError`.
+
+        ``tenant_queued``/``total_queued`` are the live queue depths
+        (submitted+queued jobs) from the job store; the controller
+        itself is stateless about queue contents so the store stays the
+        single source of truth.
+        """
+        if draining:
+            raise self._reject(
+                tenant,
+                REJECT_DRAINING,
+                "server is draining (SIGTERM received); no new jobs admitted",
+                status=503,
+            )
+        acct = self._tenant(tenant)
+        if not acct.bucket.try_take():
+            raise self._reject(
+                tenant,
+                REJECT_RATE,
+                f"tenant {tenant!r} exceeded its submit rate "
+                f"({self.quota.submit_rate:g}/s, burst {self.quota.submit_burst})",
+            )
+        if tenant_queued >= self.quota.max_queued:
+            raise self._reject(
+                tenant,
+                REJECT_QUEUE_FULL,
+                f"tenant {tenant!r} already has {tenant_queued} queued job(s) "
+                f"(quota {self.quota.max_queued})",
+            )
+        if total_queued >= self.max_total_queued:
+            raise self._reject(
+                tenant,
+                REJECT_SERVER_FULL,
+                f"server queue is full ({total_queued} jobs, "
+                f"bound {self.max_total_queued})",
+            )
+        acct.admitted += 1
+
+    def counters(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant admission counters for ``/metrics``."""
+        return {
+            tenant: {
+                "admitted": acct.admitted,
+                "rejected": dict(acct.rejected),
+            }
+            for tenant, acct in sorted(self._tenants.items())
+        }

@@ -1,0 +1,371 @@
+"""``repro.service.jobs`` — the durable job model and state machine.
+
+A *job* is one tenant's request to run a sweep / chaos / recovery /
+verify campaign. Its lifecycle is an explicit state machine::
+
+    submitted → queued → running → done
+                   ↑         ├───→ partial      (allow_partial degradation)
+                   │         ├───→ failed
+                   │         └───→ cancelled
+                   └─────────┘  (recovery: a job found `running` when the
+                                 server restarts is re-queued, not lost)
+
+Two durability layers make a SIGKILLed server resumable with **zero
+re-execution**:
+
+* **Job records** — every state transition is appended to a service
+  journal (``service-<id>.jsonl`` via :class:`repro.journal.RunJournal`,
+  one entry per transition, keyed by job id, last-wins). A restarted
+  server replays the journal, re-queues every non-terminal job, and
+  keeps the terminal ones queryable.
+* **Cell results** — each job's campaign runs under its *own* run
+  journal whose run id is derived from the job's idempotent
+  :meth:`JobSpec.job_key` (a content hash of the work, not of the
+  submission). Re-running the same job key — after a crash, or a tenant
+  resubmitting the same spec — rehydrates every completed cell from that
+  journal instead of recomputing it, exactly like ``--resume`` on the
+  CLI. The cache-provenance plumbing (``cached_run_ex``) underneath is
+  what proves "resumed" means *zero recompute*, not "recomputed fast".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.journal import RunJournal, journal_dir
+
+__all__ = [
+    "JOB_KINDS",
+    "TERMINAL_STATES",
+    "InvalidTransition",
+    "Job",
+    "JobSpec",
+    "JobStore",
+]
+
+JOB_KINDS = ("sweep", "chaos", "recovery", "verify")
+
+#: States in the durable job machine.
+STATE_SUBMITTED = "submitted"
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_PARTIAL = "partial"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({STATE_DONE, STATE_PARTIAL, STATE_FAILED, STATE_CANCELLED})
+
+#: Legal transitions; anything else is a server bug, surfaced loudly.
+_TRANSITIONS = {
+    STATE_SUBMITTED: {STATE_QUEUED, STATE_CANCELLED},
+    STATE_QUEUED: {STATE_RUNNING, STATE_CANCELLED},
+    STATE_RUNNING: {
+        STATE_DONE,
+        STATE_PARTIAL,
+        STATE_FAILED,
+        STATE_CANCELLED,
+        STATE_QUEUED,  # crash recovery: a restarted server re-queues it
+    },
+    STATE_PARTIAL: set(),
+    STATE_DONE: set(),
+    STATE_FAILED: set(),
+    STATE_CANCELLED: set(),
+}
+
+
+class InvalidTransition(ReproError):
+    """An illegal job state transition (a server bug, not tenant input)."""
+
+    def __init__(self, job_id: str, old: str, new: str) -> None:
+        super().__init__(f"job {job_id}: illegal transition {old} -> {new}")
+        self.job_id = job_id
+        self.old = old
+        self.new = new
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run — the content-addressed half of a job.
+
+    ``params`` mirrors the CLI flags of the matching subcommand (grids,
+    workloads, seed, ops_scale, fault kinds, scenarios ...). The *work*
+    is identified by :meth:`job_key`, a hash of kind+params only:
+    priority, deadline, workers, and tenant affect scheduling and
+    accounting, never the result, so they stay out of the key — a
+    resubmission with different priority still resumes the same run
+    journal.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    deadline_seconds: Optional[float] = None
+    allow_partial: bool = False
+    workers: int = 1
+
+    def validate(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r} (expected one of {JOB_KINDS})"
+            )
+        if not isinstance(self.params, dict):
+            raise ValueError("params must be a JSON object")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params}
+
+    def job_key(self) -> str:
+        """Idempotency key: same work content → same key → same journal."""
+        blob = json.dumps(self.canonical(), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    def run_id(self) -> str:
+        """The run-journal id this job's cells checkpoint under."""
+        return f"job-{self.job_key()}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": self.params,
+            "priority": self.priority,
+            "deadline_seconds": self.deadline_seconds,
+            "allow_partial": self.allow_partial,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        return cls(
+            kind=data["kind"],
+            params=dict(data.get("params") or {}),
+            priority=int(data.get("priority", 0)),
+            deadline_seconds=data.get("deadline_seconds"),
+            allow_partial=bool(data.get("allow_partial", False)),
+            workers=int(data.get("workers", 1)),
+        )
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle record (durable via the store)."""
+
+    id: str
+    tenant: str
+    spec: JobSpec
+    state: str = STATE_SUBMITTED
+    seq: int = 0  # monotonic submission order, the FIFO tie-breaker
+    created: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    progress: Dict[str, int] = field(default_factory=lambda: {"done": 0, "total": 0})
+    resumed_cells: int = 0
+    cancel_requested: bool = False
+    deadline_hit: bool = False
+    recovered: bool = False  # re-queued by a restarted server
+
+    @property
+    def job_key(self) -> str:
+        return self.spec.job_key()
+
+    @property
+    def run_id(self) -> str:
+        return self.spec.run_id()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, new_state: str) -> None:
+        if new_state not in _TRANSITIONS.get(self.state, set()):
+            raise InvalidTransition(self.id, self.state, new_state)
+        self.state = new_state
+        if new_state == STATE_RUNNING and self.started is None:
+            self.started = time.time()
+        if new_state in TERMINAL_STATES:
+            self.finished = time.time()
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        payload = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "kind": self.spec.kind,
+            "job_key": self.job_key,
+            "run_id": self.run_id,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "seq": self.seq,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "progress": dict(self.progress),
+            "resumed_cells": self.resumed_cells,
+            "cancel_requested": self.cancel_requested,
+            "deadline_hit": self.deadline_hit,
+            "recovered": self.recovered,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        job = cls(
+            id=data["id"],
+            tenant=data["tenant"],
+            spec=JobSpec.from_dict(data["spec"]),
+            state=data.get("state", STATE_SUBMITTED),
+            seq=int(data.get("seq", 0)),
+            created=float(data.get("created", 0.0)),
+            started=data.get("started"),
+            finished=data.get("finished"),
+            error=data.get("error"),
+            result=data.get("result"),
+            resumed_cells=int(data.get("resumed_cells", 0)),
+            cancel_requested=bool(data.get("cancel_requested", False)),
+            deadline_hit=bool(data.get("deadline_hit", False)),
+            recovered=bool(data.get("recovered", False)),
+        )
+        job.progress = dict(data.get("progress") or {"done": 0, "total": 0})
+        return job
+
+
+class JobStore:
+    """Durable job records over an append-only service journal.
+
+    One journal entry per state transition, keyed by job id, replayed
+    last-wins on restart — the same idempotent-replay machinery the
+    cell journals use, applied one level up. The journal's advisory
+    lock doubles as single-writer enforcement for the whole service id:
+    a second replica pointed at the same service id fails fast with
+    :class:`repro.journal.JournalLockedError` instead of corrupting job
+    records.
+    """
+
+    def __init__(
+        self, service_id: str, directory: Optional[Path] = None
+    ) -> None:
+        self.service_id = service_id
+        self._journal = RunJournal.open(
+            f"service-{service_id}", directory=directory, create=True
+        )
+        self.jobs: Dict[str, Job] = {}
+        self._seq = 0
+        for key, entry in sorted(
+            self._journal.entries().items(),
+            key=lambda item: item[1].get("job", {}).get("seq", 0),
+        ):
+            record = entry.get("job")
+            if not record:
+                continue
+            try:
+                job = Job.from_dict(record)
+            except (KeyError, TypeError, ValueError):
+                continue  # unreadable record: skip, never crash the server
+            self.jobs[job.id] = job
+            self._seq = max(self._seq, job.seq)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def recover(self) -> List[Job]:
+        """Re-queue every job the dead server left non-terminal.
+
+        ``running`` jobs were mid-campaign when the server died; their
+        cell journals hold everything they completed, so re-queueing
+        them costs re-dispatch, never re-execution. Returns the
+        recovered jobs in submission order.
+        """
+        recovered = []
+        for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+            if job.terminal:
+                continue
+            if job.state == STATE_RUNNING:
+                job.transition(STATE_QUEUED)
+            elif job.state == STATE_SUBMITTED:
+                job.transition(STATE_QUEUED)
+            job.recovered = True
+            self.persist(job)
+            recovered.append(job)
+        return recovered
+
+    # -- creation and persistence -----------------------------------------
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def create(self, tenant: str, spec: JobSpec) -> Job:
+        seq = self.next_seq()
+        job = Job(
+            id=f"j{seq:06d}-{spec.job_key()[:8]}",
+            tenant=tenant,
+            spec=spec,
+            seq=seq,
+            created=time.time(),
+        )
+        self.jobs[job.id] = job
+        self.persist(job)
+        return job
+
+    def persist(self, job: Job) -> None:
+        self._journal.record(
+            job.id,
+            {
+                "ok": job.state in (STATE_DONE, STATE_PARTIAL),
+                "state": job.state,
+                "job": job.to_dict(),
+            },
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def active_by_key(self, job_key: str) -> Optional[Job]:
+        """The live (non-terminal) job for an idempotency key, if any."""
+        for job in self.jobs.values():
+            if not job.terminal and job.job_key == job_key:
+                return job
+        return None
+
+    def by_tenant(self, tenant: Optional[str] = None) -> List[Job]:
+        jobs = [
+            job
+            for job in self.jobs.values()
+            if tenant is None or job.tenant == tenant
+        ]
+        return sorted(jobs, key=lambda j: j.seq)
+
+    def counts(self, tenant: str) -> Dict[str, int]:
+        queued = running = 0
+        for job in self.jobs.values():
+            if job.tenant != tenant:
+                continue
+            if job.state in (STATE_SUBMITTED, STATE_QUEUED):
+                queued += 1
+            elif job.state == STATE_RUNNING:
+                running += 1
+        return {"queued": queued, "running": running}
+
+    def totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for job in self.jobs.values():
+            totals[job.state] = totals.get(job.state, 0) + 1
+        return totals

@@ -1,0 +1,233 @@
+"""``repro.service.wire`` — minimal HTTP/1.1 framing over asyncio streams.
+
+The job server deliberately avoids ``http.server`` (synchronous, one
+thread per connection) and any third-party framework: the whole wire
+layer is a few hand-rolled, individually testable functions on top of
+``asyncio``'s stream reader/writer pair.
+
+Scope (all the server needs, nothing more):
+
+* request parsing — request line, headers, ``Content-Length`` bodies,
+  with hard limits on line/header/body sizes so a misbehaving tenant
+  cannot balloon server memory;
+* response encoding — fixed-length JSON/text responses
+  (``Connection: close``, one request per connection keeps the state
+  machine trivial and is plenty for a job-submission API);
+* chunked transfer encoding — :class:`JsonlStream` streams job progress
+  as one JSON document per chunk (`application/jsonl`), the format the
+  ``/v1/jobs/<id>/events`` endpoint serves.
+
+Anything malformed raises :class:`WireError` carrying the HTTP status
+the connection handler should answer with before closing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_REQUEST_LINE",
+    "HttpRequest",
+    "JsonlStream",
+    "WireError",
+    "encode_response",
+    "read_request",
+    "send_json",
+]
+
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class WireError(Exception):
+    """A malformed or oversized request; ``status`` is the HTTP answer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise WireError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(
+    reader, max_body: int = MAX_BODY_BYTES
+) -> Optional[HttpRequest]:
+    """Read and parse one request; ``None`` on clean EOF (client closed).
+
+    Raises :class:`WireError` on malformed framing or exceeded limits.
+    Only ``Content-Length`` bodies are supported (no request chunking) —
+    every client of a JSON job API sends fixed-length bodies.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, ValueError) as exc:
+        raise WireError(400, f"unreadable request line: {exc}")
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise WireError(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise WireError(400, f"malformed request line: {line!r}")
+    if not version.strip().startswith("HTTP/1."):
+        raise WireError(400, f"unsupported protocol {version.strip()!r}")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await reader.readline()
+        if not raw or raw in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise WireError(400, "headers too large")
+        try:
+            name, _, value = raw.decode("latin-1").partition(":")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+            raise WireError(400, "undecodable header")
+        if not _:
+            raise WireError(400, f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise WireError(400, f"bad Content-Length {length_header!r}")
+        if length < 0:
+            raise WireError(400, "negative Content-Length")
+        if length > max_body:
+            raise WireError(413, f"body of {length} bytes exceeds {max_body}")
+        try:
+            body = await reader.readexactly(length)
+        except Exception as exc:
+            raise WireError(400, f"truncated body: {exc}")
+    elif headers.get("transfer-encoding"):
+        raise WireError(400, "chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    query = {k: v for k, v in parse_qsl(split.query, keep_blank_values=True)}
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def encode_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """A complete fixed-length HTTP/1.1 response as bytes (testable, pure)."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+async def send_json(
+    writer,
+    status: int,
+    payload: Any,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Serialize ``payload`` and send it as one fixed-length response."""
+    body = (json.dumps(payload, indent=2, default=str) + "\n").encode("utf-8")
+    writer.write(encode_response(status, body, extra_headers=extra_headers))
+    await writer.drain()
+
+
+class JsonlStream:
+    """Chunked-transfer JSONL: one JSON document per chunk.
+
+    The streaming counterpart of :func:`send_json` — the events endpoint
+    opens one of these, replays the job's event log, then follows it
+    until the job reaches a terminal state. Chunked framing means the
+    client sees each event the moment it is flushed, with standard
+    HTTP/1.1 semantics (curl, urllib, and every load balancer agree on
+    it; no server-sent-events dialect needed).
+    """
+
+    def __init__(self, writer) -> None:
+        self._writer = writer
+        self._started = False
+
+    async def start(self, status: int = 200) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/jsonl\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        self._writer.write(head)
+        await self._writer.drain()
+        self._started = True
+
+    async def send(self, event: Any) -> None:
+        assert self._started, "JsonlStream.start() not called"
+        data = (json.dumps(event, default=str) + "\n").encode("utf-8")
+        self._writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+        self._writer.write(data + b"\r\n")
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._started:
+            self._writer.write(b"0\r\n\r\n")
+            await self._writer.drain()

@@ -931,6 +931,7 @@ def run_chaos_campaign(
     workers: Optional[int] = 1,
     policy=None,
     journal=None,
+    should_abort=None,
 ) -> ChaosReport:
     """Sweep fault kinds across workloads; returns the invariant report.
 
@@ -949,6 +950,11 @@ def run_chaos_campaign(
     uninterrupted one. On failures a
     :class:`~repro.errors.SweepError` is raised with the surviving
     :class:`ChaosRunResult` objects attached as ``outcomes``.
+
+    ``should_abort`` (a cheap thread-safe callable) enables cooperative
+    cancellation between cells: once true the campaign stops and raises
+    :class:`~repro.errors.JobCancelled`; everything already journaled
+    stays resumable.
     """
     cells = chaos_grid(
         workloads, kinds, seed=seed, ops_scale=ops_scale,
@@ -987,7 +993,11 @@ def run_chaos_campaign(
     if workers is not None and workers <= 1:
         import time as _time
 
+        from repro.errors import JobCancelled
+
         for task_index, i in enumerate(pending):
+            if should_abort is not None and should_abort():
+                raise JobCancelled("chaos campaign aborted between cells")
             start = _time.perf_counter()
             result = _chaos_cell(cells[i])
             runs[i] = result
@@ -1008,6 +1018,7 @@ def run_chaos_campaign(
             policy=policy,
             describe_task=_describe_chaos_task,
             on_outcome=on_outcome,
+            should_abort=should_abort,
         )
 
     if pending:
@@ -1018,6 +1029,10 @@ def run_chaos_campaign(
             outcomes, _mode = dispatch()
         for i, out in zip(pending, outcomes):
             runs[i] = out.value
+        if should_abort is not None and should_abort():
+            from repro.errors import JobCancelled
+
+            raise JobCancelled("chaos campaign aborted mid-sweep")
         failures = [out.error for out in outcomes if out.error]
         if failures:
             raise SweepError(

@@ -63,6 +63,7 @@ from repro.errors import TransientCellError
 
 __all__ = [
     "BUNDLE_SCHEMA",
+    "ERROR_ABORTED",
     "ERROR_CRASH",
     "ERROR_DEADLINE",
     "ERROR_DETERMINISTIC",
@@ -82,6 +83,7 @@ ERROR_TRANSIENT = "transient"
 ERROR_DETERMINISTIC = "deterministic"
 ERROR_CRASH = "crash"
 ERROR_DEADLINE = "deadline"
+ERROR_ABORTED = "aborted"
 
 ProgressFn = Callable[[int, int, str, Optional[str]], None]
 #: ``describe_task(task)`` returns a JSON-serializable replay recipe for
@@ -278,6 +280,7 @@ class _Supervisor:
         initargs: Tuple,
         serial_setup: Optional[Callable[[], None]] = None,
         serial_teardown: Optional[Callable[[], None]] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.fn = fn
         self.tasks = tasks
@@ -292,9 +295,36 @@ class _Supervisor:
         self.initargs = initargs
         self.serial_setup = serial_setup
         self.serial_teardown = serial_teardown
+        self.should_abort = should_abort
         self.outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         self.states = [_TaskState(i) for i in range(len(tasks))]
         self.done_count = 0
+
+    def _aborted(self) -> bool:
+        return self.should_abort is not None and self.should_abort()
+
+    def _finalize_aborted(self) -> None:
+        """Seal every unfinished task as aborted (never executed again).
+
+        Cooperative cancellation: the job server's cancel/drain/deadline
+        paths flip ``should_abort`` from another thread; the supervisor
+        observes it at the next dispatch boundary. Aborted outcomes are
+        recorded as *failures* (``ok=False``), so a journaled resume
+        re-executes exactly these cells and none of the completed ones.
+        """
+        for index, outcome in enumerate(self.outcomes):
+            if outcome is None:
+                self._finalize(
+                    index,
+                    TaskOutcome(
+                        None,
+                        "JobCancelled: aborted before completion "
+                        "(cancellation, drain, or deadline)",
+                        0.0,
+                        self.states[index].attempts,
+                        ERROR_ABORTED,
+                    ),
+                )
 
     # -- shared bookkeeping ------------------------------------------------
 
@@ -375,6 +405,8 @@ class _Supervisor:
             self.serial_setup()
         try:
             for i, task in enumerate(self.tasks):
+                if self._aborted():
+                    break
                 state = self.states[i]
                 while True:
                     value, error, wall, kind = traced_call(self.fn, task)
@@ -392,6 +424,9 @@ class _Supervisor:
                         break
                     if delay > 0:
                         time.sleep(delay)
+                    if self._aborted():
+                        break
+            self._finalize_aborted()
         finally:
             if self.serial_teardown is not None:
                 self.serial_teardown()
@@ -484,6 +519,14 @@ class _Supervisor:
 
         try:
             while self.done_count < len(self.tasks):
+                if self._aborted():
+                    # Cooperative cancellation observed at the poll
+                    # boundary: kill in-flight workers now (their cells
+                    # are charged as aborted, not crashed) and seal
+                    # everything unfinished.
+                    self._kill_pool(pool)
+                    self._finalize_aborted()
+                    return [out for out in self.outcomes if out is not None]
                 now = time.monotonic()
                 # Release backed-off tasks whose delay elapsed.
                 still_delayed = []
@@ -635,6 +678,7 @@ def supervised_map(
     initargs: Tuple = (),
     serial_setup: Optional[Callable[[], None]] = None,
     serial_teardown: Optional[Callable[[], None]] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> Tuple[List[TaskOutcome], str]:
     """Run ``fn`` over ``tasks`` under supervision, preserving order.
 
@@ -652,6 +696,12 @@ def supervised_map(
     workers, so it never runs the initializer; ``serial_setup`` /
     ``serial_teardown`` bracket the in-process loop for callers whose
     task function needs the same ambient state there.
+
+    ``should_abort`` (thread-safe, cheap) is polled at dispatch
+    boundaries; once true, no further task is started, in-flight
+    workers are killed, and every unfinished task is sealed with an
+    :data:`ERROR_ABORTED` outcome — the cooperative-cancellation hook
+    the job server's cancel/drain/deadline paths use.
     """
     sup = _Supervisor(
         fn,
@@ -667,6 +717,7 @@ def supervised_map(
         initargs,
         serial_setup=serial_setup,
         serial_teardown=serial_teardown,
+        should_abort=should_abort,
     )
     if workers <= 1 or len(tasks) <= 1:
         return sup.run_serial(), "serial"

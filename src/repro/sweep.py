@@ -497,6 +497,7 @@ def fan_out(
     describe_task: Optional[Callable[[Any], Optional[Dict[str, Any]]]] = None,
     on_outcome: Optional[Callable[[int, TaskOutcome], None]] = None,
     grid: Optional[Tuple[Sequence[Cell], bool, bool]] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> Tuple[List[TaskOutcome], str]:
     """Run ``fn`` over ``tasks`` on a supervised process pool, in order.
 
@@ -561,6 +562,7 @@ def fan_out(
         initargs=(cache_dir, grid_blob, grid is not None),
         serial_setup=serial_setup,
         serial_teardown=serial_teardown,
+        should_abort=should_abort,
     )
 
 
@@ -572,6 +574,7 @@ def run_sweep(
     progress: Optional[ProgressFn] = None,
     policy: Optional[SupervisorPolicy] = None,
     journal: Optional[RunJournal] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> SweepReport:
     """Run a grid of cells, in parallel when ``workers`` allows.
 
@@ -595,6 +598,12 @@ def run_sweep(
     every newly executed cell is journaled as it lands, making the run
     resumable after any interruption. Trace-recording cells are never
     resumed (their payload is deliberately not persisted).
+
+    ``should_abort`` enables cooperative cancellation (see
+    :func:`repro.supervisor.supervised_map`): once it turns true the
+    sweep stops dispatching, in-flight workers are killed, and the
+    unfinished cells come back as ``aborted`` failures — already
+    completed cells stay journaled, so a resume runs only the rest.
     """
     start = time.perf_counter()
     stats = SupervisorStats()
@@ -673,6 +682,7 @@ def run_sweep(
                 describe_task=describe_task,
                 on_outcome=on_outcome,
                 grid=(task_cells, use_disk, fresh),
+                should_abort=should_abort,
             )
 
         if journal is not None:

@@ -1,0 +1,375 @@
+"""End-to-end tests for the job server over real sockets.
+
+Each test boots a :class:`SimulationService` on an ephemeral port
+inside ``asyncio.run`` and talks to it with a raw asyncio HTTP client
+(one connection per request, mirroring the server's
+``Connection: close`` model). Sweeps use the tiny ``ops_scale`` the
+rest of the suite uses, so a full submit → run → done round trip is a
+second or two.
+
+Scheduler dispatch is *paused* (``scheduler.draining`` — the same flag
+``drain()`` uses) in the tests that need deterministic queue contents;
+admission keys off the service state, not that flag, so submissions
+still flow.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.service import ServiceConfig, SimulationService, TenantQuota
+from repro.service.jobs import TERMINAL_STATES
+
+SCALE = 0.05
+TINY_PARAMS = {"grids": ["fig5"], "workloads": ["backprop"], "ops_scale": SCALE}
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def sweep_body(tenant: str = "alice", **over) -> Dict[str, Any]:
+    body: Dict[str, Any] = {
+        "tenant": tenant,
+        "kind": "sweep",
+        "params": dict(TINY_PARAMS),
+    }
+    body["params"].update(over.pop("params", {}))
+    body.update(over)
+    return body
+
+
+async def http(
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[dict] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Any]:
+    """One request over a fresh connection; decodes JSON and JSONL."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        data = json.dumps(body).encode() if body is not None else b""
+        lines = [f"{method} {path} HTTP/1.1", "Host: test"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if data:
+            lines.append(f"Content-Length: {len(data)}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + data)
+        await writer.drain()
+
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        resp_headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            resp_headers[name.strip().lower()] = value.strip()
+
+        if resp_headers.get("transfer-encoding") == "chunked":
+            chunks = []
+            while True:
+                size = int((await reader.readline()).strip(), 16)
+                if size == 0:
+                    await reader.readline()
+                    break
+                chunks.append(await reader.readexactly(size))
+                await reader.readexactly(2)  # trailing CRLF
+            text = b"".join(chunks).decode("utf-8")
+            return status, [json.loads(l) for l in text.splitlines() if l]
+        length = int(resp_headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else None)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+async def start_service(**over) -> SimulationService:
+    quota = TenantQuota(**over.pop("quota", {}))
+    config = ServiceConfig(
+        port=0,
+        service_id=over.pop("service_id", "test"),
+        quota=quota,
+        **over,
+    )
+    service = SimulationService(config)
+    await service.start()
+    return service
+
+
+async def wait_terminal(
+    port: int, job_id: str, timeout: float = 120.0
+) -> Dict[str, Any]:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, out = await http(port, "GET", f"/v1/jobs/{job_id}")
+        if out["job"]["state"] in TERMINAL_STATES:
+            return out["job"]
+        await asyncio.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+def test_healthz_readyz_and_404():
+    async def go():
+        svc = await start_service()
+        try:
+            status, health = await http(svc.port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ready"
+            assert health["scheduler"]["running"] == 0
+            status, ready = await http(svc.port, "GET", "/readyz")
+            assert status == 200 and ready["ready"] is True
+            status, err = await http(svc.port, "GET", "/no/such/route")
+            assert status == 404 and err["error"] == "not-found"
+            status, err = await http(svc.port, "GET", "/v1/jobs/jNOPE")
+            assert status == 404
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_submit_runs_to_done_with_result_and_metrics():
+    async def go():
+        svc = await start_service()
+        try:
+            status, out = await http(svc.port, "POST", "/v1/jobs", sweep_body())
+            assert status == 201, out
+            job = out["job"]
+            assert job["state"] in ("queued", "running")
+            assert job["kind"] == "sweep" and job["tenant"] == "alice"
+
+            final = await wait_terminal(svc.port, job["id"])
+            assert final["state"] == "done", final["error"]
+            result = final["result"]
+            assert result["completion_rate"] == 1.0
+            assert len(result["cells"]) == 1 and result["cells"][0]["ok"]
+            assert "supervisor" in result  # SupervisorStats surfaced
+
+            status, metrics = await http(svc.port, "GET", "/metrics")
+            assert status == 200
+            alice = metrics["tenants"]["alice"]
+            assert alice["admission"]["admitted"] == 1
+            assert alice["terminal"]["done"] == 1
+            assert "supervisor" in alice["terminal"]
+            assert set(metrics["warm_workers"]) >= {"hits", "misses", "size"}
+            assert metrics["jobs"] == {"done": 1}
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_invalid_specs_rejected_with_400():
+    async def go():
+        svc = await start_service()
+        try:
+            status, out = await http(
+                svc.port, "POST", "/v1/jobs", {"kind": "nonsense"}
+            )
+            assert status == 400 and out["error"] == "bad-request"
+            status, out = await http(
+                svc.port, "POST", "/v1/jobs", {"kind": "sweep", "workers": 0}
+            )
+            assert status == 400
+            status, out = await http(svc.port, "POST", "/v1/jobs", None)
+            assert status == 400  # no body at all
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_tenant_quota_rejects_overflow_but_not_other_tenants():
+    async def go():
+        svc = await start_service(quota={"max_queued": 2, "submit_burst": 50})
+        try:
+            svc.scheduler.draining = True  # pause dispatch: jobs stay queued
+            for seed in (1, 2):
+                status, out = await http(
+                    svc.port,
+                    "POST",
+                    "/v1/jobs",
+                    sweep_body(params={"seed": seed}),
+                )
+                assert status == 201, out
+            # Tenant A's third job overflows its quota: explicit 429.
+            status, out = await http(
+                svc.port, "POST", "/v1/jobs", sweep_body(params={"seed": 3})
+            )
+            assert status == 429
+            assert out["error"] == "tenant-queue-full"
+            # Tenant B is admitted despite A's saturation.
+            status, out = await http(
+                svc.port,
+                "POST",
+                "/v1/jobs",
+                sweep_body(tenant="bob", params={"seed": 4}),
+            )
+            assert status == 201, out
+            status, metrics = await http(svc.port, "GET", "/metrics")
+            assert metrics["tenants"]["alice"]["admission"]["rejected"] == {
+                "tenant-queue-full": 1
+            }
+            assert metrics["tenants"]["bob"]["admission"]["admitted"] == 1
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_rate_limit_rejects_tight_submit_loop():
+    async def go():
+        svc = await start_service(
+            quota={"submit_rate": 0.001, "submit_burst": 2, "max_queued": 50}
+        )
+        try:
+            svc.scheduler.draining = True
+            codes = []
+            for seed in range(4):
+                status, out = await http(
+                    svc.port,
+                    "POST",
+                    "/v1/jobs",
+                    sweep_body(params={"seed": seed}),
+                )
+                codes.append(status)
+            assert codes == [201, 201, 429, 429]
+            assert out["error"] == "rate-limited"
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_idempotent_resubmission_joins_live_job():
+    async def go():
+        svc = await start_service()
+        try:
+            svc.scheduler.draining = True
+            _, first = await http(svc.port, "POST", "/v1/jobs", sweep_body())
+            status, second = await http(
+                svc.port, "POST", "/v1/jobs", sweep_body(priority=5)
+            )
+            # Same work content (priority is not part of the key): joined.
+            assert status == 200 and second["deduplicated"] is True
+            assert second["job"]["id"] == first["job"]["id"]
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_cancel_queued_job_and_terminal_conflict():
+    async def go():
+        svc = await start_service()
+        try:
+            svc.scheduler.draining = True
+            _, out = await http(svc.port, "POST", "/v1/jobs", sweep_body())
+            job_id = out["job"]["id"]
+            status, out = await http(svc.port, "DELETE", f"/v1/jobs/{job_id}")
+            assert status == 202 and out["job"]["state"] == "cancelled"
+            status, out = await http(
+                svc.port, "POST", f"/v1/jobs/{job_id}/cancel"
+            )
+            assert status == 409 and out["error"] == "terminal"
+            _, listing = await http(
+                svc.port, "GET", "/v1/jobs?tenant=alice&state=cancelled"
+            )
+            assert listing["count"] == 1
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_deadline_aborts_job():
+    async def go():
+        svc = await start_service()
+        try:
+            _, out = await http(
+                svc.port,
+                "POST",
+                "/v1/jobs",
+                sweep_body(deadline_seconds=0.01),
+            )
+            final = await wait_terminal(svc.port, out["job"]["id"])
+            assert final["state"] == "failed"
+            assert "deadline" in final["error"]
+            assert final["deadline_hit"] is True
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_events_stream_replays_and_terminates():
+    async def go():
+        svc = await start_service()
+        try:
+            _, out = await http(svc.port, "POST", "/v1/jobs", sweep_body())
+            job_id = out["job"]["id"]
+            await wait_terminal(svc.port, job_id)
+            status, events = await http(
+                svc.port, "GET", f"/v1/jobs/{job_id}/events"
+            )
+            assert status == 200
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "state"  # queued
+            assert "cell" in kinds  # per-cell progress
+            assert kinds[-1] == "end"
+            states = [e["state"] for e in events if e["event"] == "state"]
+            assert states[-1] == "done"
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_drain_flips_ready_and_rejects_submissions():
+    async def go():
+        svc = await start_service()
+        try:
+            svc.state = "draining"  # what SIGTERM's request_drain sets first
+            status, ready = await http(svc.port, "GET", "/readyz")
+            assert status == 503 and ready["state"] == "draining"
+            status, out = await http(svc.port, "POST", "/v1/jobs", sweep_body())
+            assert status == 503 and out["error"] == "draining"
+        finally:
+            svc.state = "ready"
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_restart_recovers_queued_job_and_finishes_it(tmp_path):
+    async def first_incarnation():
+        svc = await start_service(service_id="crashy")
+        svc.scheduler.draining = True  # keep the job queued, then "die"
+        _, out = await http(svc.port, "POST", "/v1/jobs", sweep_body())
+        await svc.stop()
+        return out["job"]["id"]
+
+    async def second_incarnation(job_id):
+        svc = await start_service(service_id="crashy")
+        try:
+            assert svc.recovered_jobs == 1
+            final = await wait_terminal(svc.port, job_id)
+            assert final["state"] == "done", final["error"]
+            assert final["recovered"] is True
+        finally:
+            await svc.stop()
+
+    job_id = asyncio.run(first_incarnation())
+    asyncio.run(second_incarnation(job_id))

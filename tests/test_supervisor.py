@@ -22,6 +22,7 @@ import pytest
 from repro.errors import TransientCellError
 from repro.supervisor import (
     BUNDLE_SCHEMA,
+    ERROR_ABORTED,
     ERROR_CRASH,
     ERROR_DEADLINE,
     ERROR_DETERMINISTIC,
@@ -323,3 +324,76 @@ class TestParallelSupervision:
         )
         assert sorted(seen) == [0, 1, 2, 3, 4]
         assert all(seen[i].value == i * 2 for i in range(5))
+
+
+# ---------------------------------------------------------------------------
+# cooperative abort (the service layer's cancellation/deadline hook)
+# ---------------------------------------------------------------------------
+
+
+class TestCooperativeAbort:
+    def test_serial_abort_finalizes_pending_tasks(self):
+        calls = []
+
+        def abort_after_two():
+            return len(calls) >= 2
+
+        def task(x):
+            calls.append(x)
+            return x * 2
+
+        outcomes, mode = supervised_map(
+            task, [1, 2, 3, 4], workers=1, should_abort=abort_after_two
+        )
+        assert mode == "serial"
+        assert len(outcomes) == 4
+        assert [out.ok for out in outcomes] == [True, True, False, False]
+        assert calls == [1, 2]  # nothing past the abort point executed
+        for out in outcomes[2:]:
+            assert out.error_kind == ERROR_ABORTED
+            assert "JobCancelled" in out.error
+
+    def test_serial_abort_false_is_a_noop(self):
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("ok", i) for i in range(3)],
+            workers=1,
+            should_abort=lambda: False,
+        )
+        assert all(out.ok for out in outcomes)
+
+    def test_parallel_abort_mid_run_kills_pool_and_finalizes(self):
+        import threading
+
+        stop = threading.Event()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        try:
+            start = time.monotonic()
+            outcomes, mode = supervised_map(
+                _faulty_task,
+                [("sleep-ok", 60.0) for _ in range(3)],
+                workers=2,
+                should_abort=stop.is_set,
+            )
+        finally:
+            timer.cancel()
+        assert mode == "parallel"
+        # Observed at the next poll boundary, not after the 60s sleeps.
+        assert time.monotonic() - start < 30.0
+        assert len(outcomes) == 3
+        assert all(not out.ok for out in outcomes)
+        assert all(out.error_kind == ERROR_ABORTED for out in outcomes)
+
+    def test_parallel_abort_preset_returns_immediately(self):
+        start = time.monotonic()
+        outcomes, _ = supervised_map(
+            _faulty_task,
+            [("sleep-ok", 30.0) for _ in range(4)],
+            workers=2,
+            should_abort=lambda: True,
+        )
+        assert time.monotonic() - start < 20.0
+        assert len(outcomes) == 4
+        assert all(not out.ok for out in outcomes)
+        assert all(out.error_kind == ERROR_ABORTED for out in outcomes)

@@ -687,3 +687,128 @@ class TestZeroTickGuard:
                 ops_scale=SCALE,
                 downgrade_interval_cycles=4000.0,
             )
+
+
+# ---------------------------------------------------------------------------
+# journal advisory lock (single writer per run id)
+# ---------------------------------------------------------------------------
+
+
+class TestJournalLock:
+    def test_second_opener_rejected_while_held(self, tmp_path):
+        from repro.journal import JournalLockedError
+
+        journal = RunJournal.create("locked", tmp_path)
+        with pytest.raises(JournalLockedError) as exc:
+            RunJournal.open("locked", tmp_path)
+        assert "locked" in str(exc.value)
+        assert str(os.getpid()) in str(exc.value)  # holder diagnostics
+        journal.close()
+
+    def test_lock_released_on_close(self, tmp_path):
+        RunJournal.create("relock", tmp_path).close()
+        second = RunJournal.open("relock", tmp_path)
+        second.record("k", {"ok": True, "result": None})
+        second.close()
+        third = RunJournal.open("relock", tmp_path)
+        assert "k" in third.completed_keys()
+        third.close()
+
+    def test_lock_released_when_holder_is_killed(self, tmp_path):
+        """SIGKILL must free the lock: flock dies with the process.
+
+        This is the property that makes the service's kill-restart
+        recovery work without stale-lease cleanup.
+        """
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from pathlib import Path
+            from repro.journal import RunJournal
+            journal = RunJournal.create("killed", Path({str(tmp_path)!r}))
+            print("held", flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": "src"},
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        assert proc.stdout.readline().strip() == "held"
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        survivor = RunJournal.open("killed", tmp_path)  # must not raise
+        survivor.close()
+
+    def test_cross_run_ids_do_not_contend(self, tmp_path):
+        a = RunJournal.create("run-a", tmp_path)
+        b = RunJournal.create("run-b", tmp_path)  # different id: no conflict
+        a.close()
+        b.close()
+
+
+# ---------------------------------------------------------------------------
+# signal_guard on a running asyncio loop
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncSignalGuard:
+    def test_async_guard_installs_loop_handler_and_cancels_task(self, tmp_path):
+        """Inside a loop, SIGTERM must cancel the guarded task (not
+        raise KeyboardInterrupt from a sync handler mid-callback)."""
+        import asyncio
+
+        async def guarded():
+            journal = RunJournal.create("async-guard", tmp_path)
+            try:
+                with journal.signal_guard():
+                    loop = asyncio.get_running_loop()
+                    loop.call_later(
+                        0.05, os.kill, os.getpid(), signal.SIGTERM
+                    )
+                    await asyncio.sleep(30.0)
+                    return "not cancelled"
+            finally:
+                journal.close()
+
+        with pytest.raises(asyncio.CancelledError):
+            asyncio.run(guarded())
+
+    def test_async_guard_on_signal_callback_overrides_cancel(self, tmp_path):
+        """A drain-style callback suppresses the default cancellation."""
+        import asyncio
+
+        seen = []
+
+        async def guarded():
+            journal = RunJournal.create("async-drain", tmp_path)
+            try:
+                with journal.signal_guard(on_signal=seen.append):
+                    loop = asyncio.get_running_loop()
+                    loop.call_later(
+                        0.05, os.kill, os.getpid(), signal.SIGTERM
+                    )
+                    await asyncio.sleep(0.3)
+                    return "survived"
+            finally:
+                journal.close()
+
+        assert asyncio.run(guarded()) == "survived"
+        assert seen == [signal.SIGTERM]
+
+    def test_sync_guard_still_converts_sigterm(self, tmp_path):
+        """No loop: the old synchronous KeyboardInterrupt contract holds."""
+        journal = RunJournal.create("sync-guard", tmp_path)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                with journal.signal_guard():
+                    os.kill(os.getpid(), signal.SIGTERM)
+                    time.sleep(5.0)
+        finally:
+            journal.close()
