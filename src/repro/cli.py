@@ -24,7 +24,12 @@ Subcommands:
 * ``serve`` — run the multi-tenant simulation job server
   (``repro.service``): sweep/chaos/recovery/verify jobs over HTTP with
   per-tenant quotas, durable crash-tolerant job state, and graceful
-  drain on SIGTERM. See ``docs/API.md``.
+  drain on SIGTERM. ``--fleet-listen`` accepts fleet workers so sweep
+  jobs fan out across hosts; ``--retention-hours`` garbage-collects
+  terminal jobs' run journals. See ``docs/API.md``.
+* ``worker`` — join a fleet (``repro.fleet``): connect to a
+  coordinator started by ``sweep --fleet`` or ``serve --fleet-listen``
+  and execute leased cells, journaling each into a private shard.
 * ``workloads`` — list the available workload specs.
 
 ``report``, ``export``, ``fig4``-``fig7``, ``chaos``, ``recovery``, and
@@ -74,6 +79,15 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
 def _workers(args: argparse.Namespace) -> Optional[int]:
     workers = getattr(args, "workers", 1)
     return None if workers == 0 else workers
+
+
+def _endpoint(parser: argparse.ArgumentParser, value: str, flag: str):
+    """Parse a ``HOST:PORT`` (or bare ``PORT``) CLI value."""
+    host, _, port = value.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        parser.error(f"{flag} expects HOST:PORT, got {value!r}")
 
 
 def _add_journal(parser: argparse.ArgumentParser, partial: bool = True) -> None:
@@ -168,10 +182,38 @@ def _run_sweep_command(
         status = "FAIL" if error else "ok"
         print(f"  [{done}/{total}] {label} {status}", file=sys.stderr)
 
+    coordinator = None
+    if getattr(args, "fleet", None):
+        from repro.fleet import FleetCoordinator
+
+        host, port = _endpoint(parser, args.fleet, "--fleet")
+        coordinator = FleetCoordinator(
+            host=host,
+            port=port,
+            wait_seconds=args.fleet_wait,
+            min_workers=args.fleet_min_workers,
+            log=lambda message: print(message, file=sys.stderr, flush=True),
+        ).start()
+        print(
+            f"fleet coordinator on {coordinator.host}:{coordinator.port} — "
+            f"join with: border-control worker --connect "
+            f"{coordinator.host}:{coordinator.port}",
+            file=sys.stderr,
+        )
+
     workers = _workers(args)
-    report = sweep.run_sweep(
-        cells, workers=workers, progress=progress, journal=journal
-    )
+    try:
+        report = sweep.run_sweep(
+            cells,
+            workers=workers,
+            progress=progress,
+            journal=journal,
+            fleet=coordinator,
+        )
+    finally:
+        if coordinator is not None:
+            coordinator.shutdown_fleet()
+            coordinator.stop()
     if journal is not None and report.resumed_cells:
         print(
             f"resumed {report.resumed_cells} cell(s) from journal "
@@ -285,6 +327,8 @@ def _serve(args: argparse.Namespace) -> int:
         max_total_queued=args.max_total_queued,
         max_concurrent=args.max_concurrent,
         drain_grace_seconds=args.drain_grace,
+        retention_hours=args.retention_hours,
+        fleet_listen=args.fleet_listen,
         log=lambda message: print(message, file=sys.stderr, flush=True),
     )
     try:
@@ -543,6 +587,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_sweep.add_argument("--json", action="store_true",
                          help="print the bench payload as JSON instead of text")
+    p_sweep.add_argument(
+        "--fleet", default=None, metavar="HOST:PORT",
+        help="listen for fleet workers on HOST:PORT (port 0 = ephemeral) "
+        "and fan cells out to them; cells the fleet cannot place fall "
+        "back to the local pool",
+    )
+    p_sweep.add_argument(
+        "--fleet-wait", type=float, default=10.0, metavar="SECONDS",
+        help="how long to wait for the first workers before degrading to "
+        "the local pool (default 10)",
+    )
+    p_sweep.add_argument(
+        "--fleet-min-workers", type=int, default=1, metavar="N",
+        help="workers to wait for before assigning leases (default 1)",
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a fleet: execute leased sweep cells for a coordinator",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (printed by `sweep --fleet` or "
+        "`serve --fleet-listen`)",
+    )
+    p_worker.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable identity; journal shards and lease books key on it "
+        "(default: <hostname>-<pid>)",
+    )
+    p_worker.add_argument(
+        "--slots", type=int, default=0, metavar="N",
+        help="cells this worker executes in parallel (0 = one per core)",
+    )
 
     sub.add_parser("workloads", help="list workload specs")
 
@@ -640,6 +718,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument(
         "--drain-grace", type=float, default=30.0,
         help="seconds running jobs get to finish after SIGTERM",
+    )
+    p_serve.add_argument(
+        "--retention-hours", type=float, default=None, metavar="HOURS",
+        help="delete terminal jobs' run journals (and fleet shards) this "
+        "many hours after they finish (default: keep forever)",
+    )
+    p_serve.add_argument(
+        "--fleet-listen", default=None, metavar="HOST:PORT",
+        help="accept fleet workers here; sweep jobs then fan out across "
+        "the fleet (join with: border-control worker --connect ...)",
     )
 
     args = parser.parse_args(argv)
@@ -860,6 +948,24 @@ def _dispatch(
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "worker":
+        from repro.fleet import FleetWorker
+
+        host, port = _endpoint(parser, args.connect, "--connect")
+        worker = FleetWorker(
+            host,
+            port,
+            worker_id=args.worker_id,
+            slots=args.slots or None,
+            log=lambda message: print(message, file=sys.stderr, flush=True),
+        )
+        print(
+            f"fleet worker {worker.worker_id} ({worker.slots} slot(s)) "
+            f"connecting to {host}:{port}",
+            file=sys.stderr,
+        )
+        return worker.run()
 
     if args.command == "workloads":
         from repro.workloads import WORKLOADS

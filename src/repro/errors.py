@@ -24,6 +24,7 @@ __all__ = [
     "TransientCellError",
     "JournalLockedError",
     "JobCancelled",
+    "FleetError",
 ]
 
 
@@ -158,10 +159,30 @@ class JournalLockedError(ReproError):
     is advisory (``flock``) and held for the journal's open lifetime,
     so it vanishes with the holding process — a SIGKILLed server never
     leaves a stale lock behind.
+
+    ``holder_alive`` reports whether the PID recorded in the ``.lock``
+    sidecar is a live process: ``True`` (it is), ``False`` (it is not —
+    the lock is held by some *other* live process, e.g. an inherited
+    file descriptor, because ``flock`` itself is kernel-released on
+    death), or ``None`` (no PID could be parsed).
     """
 
-    def __init__(self, run_id: str, path, holder: str = "") -> None:
-        detail = f" (held by {holder})" if holder else ""
+    def __init__(
+        self, run_id: str, path, holder: str = "", holder_alive=None
+    ) -> None:
+        if holder:
+            if holder_alive is True:
+                liveness = ", alive"
+            elif holder_alive is False:
+                liveness = (
+                    ", no longer alive — the flock is held by an "
+                    "unidentified live process (inherited fd?)"
+                )
+            else:
+                liveness = ""
+            detail = f" (held by {holder}{liveness})"
+        else:
+            detail = ""
         super().__init__(
             f"journal for run {run_id!r} is locked by another live "
             f"process{detail}: {path}"
@@ -169,6 +190,16 @@ class JournalLockedError(ReproError):
         self.run_id = run_id
         self.path = path
         self.holder = holder
+        self.holder_alive = holder_alive
+
+
+class FleetError(ReproError):
+    """A fleet campaign failed at the coordination layer (not a cell).
+
+    Raised for protocol violations and unrecoverable coordinator state;
+    ordinary worker death, partitions, and dropped frames are *handled*
+    (lease expiry + reassignment), not raised.
+    """
 
 
 class JobCancelled(ReproError):

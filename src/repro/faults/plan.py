@@ -43,6 +43,18 @@ class FaultKind(enum.Enum):
     # device replaying recorded writebacks under a stale attach epoch.
     ROGUE_WRITE = "rogue-write"
     RESET_REPLAY = "reset-replay"
+    # Fleet-network kinds, interpreted by repro.fleet's FaultyTransport
+    # (frames between coordinator and workers): a frame sent twice, and
+    # a symmetric partition that swallows the next ``param`` frames in
+    # both directions. DROP and DELAY are reused as-is at fleet sites.
+    DUP_FRAME = "dup-frame"
+    PARTITION = "partition"
+
+    @property
+    def fleet_only(self) -> bool:
+        """True for kinds that only the fleet transport interprets —
+        they never inject into a chaos simulation run."""
+        return self in (FaultKind.DUP_FRAME, FaultKind.PARTITION)
 
     @property
     def read_only(self) -> bool:

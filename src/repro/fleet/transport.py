@@ -1,0 +1,191 @@
+"""``repro.fleet.transport`` — framed streams, optionally faulty.
+
+:class:`FrameTransport` is the thin pairing of an asyncio stream with
+the :func:`repro.service.wire.encode_frame` framing plus a send lock
+(heartbeats and results interleave on one connection).
+
+:class:`FaultyTransport` layers seeded network chaos on top, driven by
+the same :class:`repro.faults.FaultPlan` machinery the simulated
+hardware uses. Faults act on whole frames — the framing guarantees a
+fault can lose, repeat, stall, or black-hole a *message*, never tear
+one — at two sites per worker link:
+
+* ``fleet.<worker_id>.out`` — coordinator→worker sends
+  (:data:`~repro.faults.FaultKind.DROP`, ``DELAY`` [param = ms],
+  ``DUP_FRAME``, ``PARTITION`` [param = frames swallowed]);
+* ``fleet.<worker_id>.in`` — worker→coordinator receives (same kinds).
+
+``PARTITION`` is symmetric: it swallows the next ``param`` frames in
+*both* directions, modeling a link that goes dark rather than a single
+lost datagram. Injection lives on the coordinator's side of every
+connection so one seed governs the whole fleet's fault sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, SiteInjector
+from repro.service.wire import encode_frame, read_frame
+
+__all__ = ["FaultyTransport", "FrameTransport", "chaos_plan"]
+
+
+class FrameTransport:
+    """One bidirectional length-prefixed-JSON stream."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, frame: dict) -> None:
+        data = encode_frame(frame)
+        async with self._send_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def recv(self) -> Optional[dict]:
+        """The next frame, or ``None`` on EOF (peer gone)."""
+        return await read_frame(self._reader)
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except Exception:  # already torn down
+            pass
+
+
+class FaultyTransport(FrameTransport):
+    """A :class:`FrameTransport` with seeded frame faults.
+
+    Injectors are bound *after* the HELLO frame (sites are named by
+    worker id, which HELLO carries), so the handshake is always clean;
+    everything after it is fair game. ``counters`` is a shared dict the
+    coordinator aggregates into its fleet stats.
+    """
+
+    def __init__(
+        self,
+        reader,
+        writer,
+        plan: Optional[FaultPlan] = None,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(reader, writer)
+        self._plan = plan
+        self._out: Optional[SiteInjector] = None
+        self._in: Optional[SiteInjector] = None
+        self._blackout = 0  # frames (either direction) still swallowed
+        self._redeliver: List[dict] = []  # DUP_FRAME on the recv side
+        self.counters = counters if counters is not None else {}
+
+    def bind(self, worker_id: str) -> None:
+        """Attach this link's injectors once the peer has a name."""
+        if self._plan is not None:
+            self._out = self._plan.for_site(f"fleet.{worker_id}.out")
+            self._in = self._plan.for_site(f"fleet.{worker_id}.in")
+
+    def _count(self, what: str) -> None:
+        self.counters[what] = self.counters.get(what, 0) + 1
+
+    def _consume_blackout(self) -> bool:
+        if self._blackout > 0:
+            self._blackout -= 1
+            self._count("frames_partitioned")
+            return True
+        return False
+
+    async def _apply(self, spec: Optional[FaultSpec], frame: dict) -> str:
+        """Returns ``"drop"``, ``"dup"``, or ``"pass"``."""
+        if spec is None:
+            return "pass"
+        if spec.kind is FaultKind.DROP:
+            self._count("frames_dropped")
+            return "drop"
+        if spec.kind is FaultKind.PARTITION:
+            # This frame opens the partition and is swallowed by it.
+            self._blackout = max(1, spec.param)
+            self._count("partitions")
+            return "drop"
+        if spec.kind is FaultKind.DELAY:
+            self._count("frames_delayed")
+            await asyncio.sleep(max(0, spec.param) / 1000.0)
+            return "pass"
+        if spec.kind is FaultKind.DUP_FRAME:
+            self._count("frames_duplicated")
+            return "dup"
+        return "pass"  # non-network kinds pass through untouched
+
+    async def send(self, frame: dict) -> None:
+        if self._consume_blackout():
+            return
+        spec = self._out.draw() if self._out is not None else None
+        action = await self._apply(spec, frame)
+        if action == "drop":
+            return
+        await super().send(frame)
+        if action == "dup":
+            await super().send(frame)
+
+    async def recv(self) -> Optional[dict]:
+        while True:
+            if self._redeliver:
+                return self._redeliver.pop()
+            frame = await super().recv()
+            if frame is None:
+                return None
+            if self._consume_blackout():
+                continue
+            spec = self._in.draw() if self._in is not None else None
+            action = await self._apply(spec, frame)
+            if action == "drop":
+                continue
+            if action == "dup":
+                self._redeliver.append(frame)
+            return frame
+
+
+def chaos_plan(
+    seed: int,
+    worker_ids: Sequence[str],
+    drop_rate: float = 0.05,
+    delay_rate: float = 0.05,
+    delay_ms: int = 25,
+    dup_rate: float = 0.05,
+    partition_rate: float = 0.0,
+    partition_frames: int = 8,
+    max_partitions: int = 1,
+) -> FaultPlan:
+    """A seeded fleet-network fault plan covering every worker link.
+
+    The chaos gate uses this: frames to and from each named worker are
+    dropped/delayed/duplicated at the given rates, plus (optionally) a
+    bounded number of symmetric partitions that swallow
+    ``partition_frames`` consecutive frames. Same seed → same fault
+    sequence per link, the property the bit-identity gate leans on.
+    """
+    specs: List[FaultSpec] = []
+    for worker_id in worker_ids:
+        for direction in ("out", "in"):
+            site = f"fleet.{worker_id}.{direction}"
+            if partition_rate > 0:
+                specs.append(
+                    FaultSpec(
+                        FaultKind.PARTITION,
+                        site,
+                        partition_rate,
+                        max_count=max_partitions,
+                        param=partition_frames,
+                    )
+                )
+            if drop_rate > 0:
+                specs.append(FaultSpec(FaultKind.DROP, site, drop_rate))
+            if delay_rate > 0:
+                specs.append(
+                    FaultSpec(FaultKind.DELAY, site, delay_rate, param=delay_ms)
+                )
+            if dup_rate > 0:
+                specs.append(FaultSpec(FaultKind.DUP_FRAME, site, dup_rate))
+    return FaultPlan(seed, specs)

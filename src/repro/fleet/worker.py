@@ -1,0 +1,333 @@
+"""``repro.fleet.worker`` — one remote host's share of a sweep.
+
+A :class:`FleetWorker` dials the coordinator, announces itself
+(HELLO), receives the campaign context (WELCOME), and then executes
+assigned cells in a local :class:`~concurrent.futures.ProcessPoolExecutor`
+— the *same* worker-side entry points as a single-host sweep
+(:func:`repro.sweep._worker_init` warm pinning,
+:func:`repro.sweep._run_cell` execution), so a cell computes
+identically whether it ran locally or across the fleet.
+
+Robustness posture:
+
+* every completed cell is appended to the worker's private journal
+  shard *before* the RESULT frame is sent — a dead coordinator (or a
+  dropped frame) loses nothing, the shard merge recovers it;
+* finished indexes are remembered; a duplicate ASSIGN (the
+  coordinator reassigning after a lost RESULT) is answered by
+  re-sending the stored entry, never by recomputing;
+* the connection is disposable: on any error the worker reconnects
+  with a fresh HELLO and the coordinator re-WELCOMEs it (same
+  campaign id → pool, shard, and finished-index memory are kept);
+* a died pool process (the cell SIGKILLed the worker, OOM, ...) is
+  contained: the pool is rebuilt and the cell reported as a crash —
+  the coordinator decides whether to retry it elsewhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import re
+import socket
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple
+
+from repro.experiments import common
+from repro.fleet import protocol
+from repro.fleet.transport import FrameTransport
+from repro.journal import JournalShard
+from repro.service.wire import WireError
+from repro.supervisor import ERROR_CRASH, traced_call
+from repro.sweep import Cell, _run_cell, _worker_init
+
+__all__ = ["FleetWorker", "sanitize_worker_id"]
+
+
+def sanitize_worker_id(worker_id: str) -> str:
+    """A filesystem-safe worker id (shard files embed it)."""
+    return re.sub(r"[^A-Za-z0-9._-]", "_", worker_id) or "worker"
+
+
+class FleetWorker:
+    """One fleet worker process: connect, lease cells, compute, report."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        worker_id: Optional[str] = None,
+        slots: Optional[int] = None,
+        reconnect_seconds: float = 0.5,
+        log=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.worker_id = sanitize_worker_id(
+            worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        )
+        self.slots = max(1, slots if slots is not None else (os.cpu_count() or 1))
+        self.reconnect_seconds = reconnect_seconds
+        self.log = log or (lambda message: None)
+        self._stop = False
+        self._transport: Optional[FrameTransport] = None
+        # campaign state (survives reconnects within one campaign)
+        self._campaign_id: Optional[str] = None
+        self._cells: Tuple[Cell, ...] = ()
+        self._heartbeat_seconds = 1.0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_args: Tuple = ()
+        self._shard: Optional[JournalShard] = None
+        self._leases: Dict[str, int] = {}  # lease_id -> cell index
+        self._running: Set[str] = set()
+        self._done: Dict[int, Tuple[str, dict, Optional[int]]] = {}
+        self._sem: Optional[asyncio.Semaphore] = None
+        self.cells_executed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Blocking entry point (the CLI ``worker`` subcommand)."""
+        asyncio.run(self.run_async())
+        return 0
+
+    def stop(self) -> None:
+        self._stop = True
+
+    async def run_async(self) -> None:
+        """Connect-and-serve until told to SHUTDOWN (or :meth:`stop`)."""
+        try:
+            while not self._stop:
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        self.host, self.port
+                    )
+                except OSError:
+                    await asyncio.sleep(self.reconnect_seconds)
+                    continue
+                transport = FrameTransport(reader, writer)
+                self._transport = transport
+                try:
+                    await transport.send(
+                        protocol.hello(self.worker_id, self.slots)
+                    )
+                    await self._session(transport)
+                except (WireError, ConnectionError, OSError):
+                    pass  # disposable connection: reconnect below
+                finally:
+                    if self._transport is transport:
+                        self._transport = None
+                    transport.close()
+                if not self._stop:
+                    await asyncio.sleep(self.reconnect_seconds)
+        finally:
+            self._teardown_campaign()
+
+    def _teardown_campaign(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._shard is not None:
+            self._shard.close()
+            self._shard = None
+
+    # -- one connection ----------------------------------------------------
+
+    async def _session(self, transport: FrameTransport) -> None:
+        heartbeat_task: Optional[asyncio.Task] = None
+        try:
+            while True:
+                frame = await transport.recv()
+                if frame is None:
+                    return
+                ftype = frame.get("type")
+                if ftype == protocol.WELCOME:
+                    await self._install(frame)
+                    if heartbeat_task is None:
+                        heartbeat_task = asyncio.ensure_future(
+                            self._heartbeat_loop(transport)
+                        )
+                elif ftype == protocol.ASSIGN:
+                    await self._on_assign(frame)
+                elif ftype == protocol.REVOKE:
+                    await self._on_revoke(transport, frame)
+                elif ftype == protocol.SHUTDOWN:
+                    self.log(f"shutdown: {frame.get('reason', '')}")
+                    self._stop = True
+                    return
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+
+    async def _heartbeat_loop(self, transport: FrameTransport) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self._heartbeat_seconds)
+                await transport.send(
+                    protocol.heartbeat(
+                        self.worker_id,
+                        held=list(self._leases),
+                        running=len(self._running),
+                    )
+                )
+        except (asyncio.CancelledError, WireError, ConnectionError, OSError):
+            return
+
+    # -- campaign install --------------------------------------------------
+
+    async def _install(self, frame: dict) -> None:
+        campaign_id = frame.get("campaign_id")
+        self._heartbeat_seconds = float(frame.get("heartbeat_seconds", 1.0))
+        if campaign_id == self._campaign_id:
+            return  # re-WELCOME after a reconnect: keep pool/shard/memory
+        self._teardown_campaign()
+        self._campaign_id = campaign_id
+        self._cells = tuple(Cell.from_dict(d) for d in frame.get("cells", []))
+        use_disk = bool(frame.get("use_disk", True))
+        fresh = bool(frame.get("fresh", False))
+        self._leases = {}
+        self._running = set()
+        self._done = {}
+        self._sem = asyncio.Semaphore(self.slots)
+        # Same warm-worker recipe as the single-host sweep: the grid is
+        # pickled once into the pool initializer, tasks are bare ints,
+        # workers are pinned to this host's resolved cache dir.
+        cache_dir = str(Path(common._cache_dir()).resolve())
+        grid_blob = pickle.dumps(
+            (self._cells, use_disk, fresh), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._pool_args = (cache_dir, grid_blob, True)
+        self._pool = self._new_pool()
+        run_id = frame.get("run_id")
+        journal_directory = frame.get("journal_dir")
+        if run_id and journal_directory:
+            self._shard = JournalShard.open(
+                str(run_id), self.worker_id, Path(str(journal_directory))
+            )
+        self.log(
+            f"campaign {campaign_id}: {len(self._cells)} cells, "
+            f"{self.slots} slot(s), shard="
+            + (str(self._shard.path) if self._shard else "off")
+        )
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.slots,
+            initializer=_worker_init,
+            initargs=self._pool_args,
+        )
+
+    # -- leases ------------------------------------------------------------
+
+    async def _on_assign(self, frame: dict) -> None:
+        for lease in frame.get("leases", []):
+            lease_id = lease.get("lease_id")
+            index = lease.get("index")
+            if not isinstance(lease_id, str) or not isinstance(index, int):
+                continue
+            if lease_id in self._leases:
+                continue  # duplicated ASSIGN frame
+            if index in self._done:
+                # The coordinator lost our RESULT and reassigned; answer
+                # from memory instead of recomputing.
+                key, entry, seq = self._done[index]
+                await self._send_result(lease_id, index, key, entry, seq)
+                continue
+            if not (0 <= index < len(self._cells)):
+                continue
+            self._leases[lease_id] = index
+            asyncio.ensure_future(self._execute(lease_id, index))
+
+    async def _on_revoke(self, transport: FrameTransport, frame: dict) -> None:
+        """Release queued (never started) leases back to the coordinator."""
+        wanted = list(frame.get("lease_ids", []))
+        count = int(frame.get("count", 0))
+        released = []
+        for lease_id in list(self._leases):
+            if lease_id in self._running:
+                continue  # running cells are not preemptible
+            if wanted and lease_id not in wanted:
+                continue
+            if not wanted and count <= len(released):
+                break
+            index = self._leases.pop(lease_id)
+            released.append({"lease_id": lease_id, "index": index})
+        await transport.send(protocol.revoked(released))
+
+    async def _execute(self, lease_id: str, index: int) -> None:
+        assert self._sem is not None
+        async with self._sem:
+            if lease_id not in self._leases:
+                return  # revoked while queued
+            self._running.add(lease_id)
+            try:
+                loop = asyncio.get_event_loop()
+                try:
+                    value, error, wall, kind = await loop.run_in_executor(
+                        self._pool, traced_call, _run_cell, index
+                    )
+                except BrokenProcessPool:
+                    # The cell killed its process (or OOM did): contain
+                    # it, rebuild, and let the coordinator decide whether
+                    # to retry the cell on another worker.
+                    if self._pool is not None:
+                        self._pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool = self._new_pool()
+                    value, error, wall, kind = (
+                        None,
+                        "BrokenProcessPool: pool process died mid-cell",
+                        0.0,
+                        ERROR_CRASH,
+                    )
+                except RuntimeError:
+                    return  # pool torn down under us (shutdown race)
+            finally:
+                self._running.discard(lease_id)
+                self._leases.pop(lease_id, None)
+        cell = self._cells[index]
+        result_payload = None
+        cache_hit = False
+        if error is None and value is not None and cell.cacheable:
+            result_payload = common._result_to_dict(value[0])
+            cache_hit = bool(value[1])
+        entry = {
+            "label": cell.label,
+            "ok": error is None,
+            "error": error,
+            "error_kind": kind,
+            "wall_seconds": round(wall, 6),
+            "attempts": 1,
+            "cacheable": cell.cacheable,
+            "cache_hit": cache_hit,
+            "result": result_payload,
+            "worker": self.worker_id,
+        }
+        key = cell.journal_key()
+        seq = None
+        if self._shard is not None:
+            # Shard first, frame second: once this append lands, the
+            # cell survives any combination of lost frames and dead
+            # coordinators.
+            seq = self._shard.record(key, entry)
+        self._done[index] = (key, entry, seq)
+        self.cells_executed += 1
+        await self._send_result(lease_id, index, key, entry, seq)
+
+    async def _send_result(
+        self,
+        lease_id: str,
+        index: int,
+        key: str,
+        entry: dict,
+        seq: Optional[int],
+    ) -> None:
+        transport = self._transport
+        if transport is None:
+            return  # between connections; the shard (or a re-ASSIGN) covers it
+        try:
+            await transport.send(protocol.result(lease_id, index, key, entry, seq))
+        except (WireError, ConnectionError, OSError):
+            pass

@@ -20,6 +20,18 @@ resumable: failed cells always re-execute.
 
 Journals are plain files under the cache dir; deleting them is always
 safe (the cost is recomputation, never correctness).
+
+**Shards** (PR 9): a fleet worker journals the cells it completes into
+a private *shard* — ``<run-id>.shard-<worker-id>.jsonl`` next to the
+authoritative journal — because the coordinator (or the network between
+them) can die while the worker keeps computing. :class:`JournalShard`
+is the append-only writer; :meth:`RunJournal.merge_shards` folds every
+shard back into the authoritative journal, last-wins by each entry's
+worker-local ``seq`` (ties broken by shard name, so the merge order is
+a pure function of the on-disk bytes). The merge is idempotent and
+crash-tolerant: re-running it after a coordinator killed mid-merge
+appends only what is still missing, and last-wins replay makes any
+duplicate appends harmless.
 """
 
 from __future__ import annotations
@@ -32,7 +44,7 @@ import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 try:  # advisory journal locking (POSIX; a no-op where flock is missing)
     import fcntl
@@ -44,13 +56,44 @@ from repro.errors import JournalLockedError
 __all__ = [
     "JOURNAL_SCHEMA",
     "JournalLockedError",
+    "JournalShard",
     "RunJournal",
     "journal_dir",
     "list_runs",
+    "list_shards",
     "new_run_id",
+    "SHARD_SCHEMA",
+    "shard_path",
 ]
 
 JOURNAL_SCHEMA = "repro-run-journal-v1"
+SHARD_SCHEMA = "repro-journal-shard-v1"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is ``pid`` a live process we could signal? (liveness, not identity)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, owned by someone else
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _parse_holder_pid(holder: str) -> Optional[int]:
+    """Extract the PID from a ``pid N since ...`` lock-sidecar line."""
+    parts = holder.split()
+    if len(parts) >= 2 and parts[0] == "pid":
+        try:
+            return int(parts[1])
+        except ValueError:
+            return None
+    return None
 
 
 def journal_dir(cache_dir: Optional[Path] = None) -> Path:
@@ -76,12 +119,136 @@ def new_run_id() -> str:
 
 
 def list_runs(directory: Optional[Path] = None) -> Dict[str, Path]:
-    """Known run ids → journal paths, newest last."""
+    """Known run ids → journal paths, newest last (shards excluded)."""
     directory = directory or journal_dir()
     if not directory.is_dir():
         return {}
-    paths = sorted(directory.glob("*.jsonl"), key=lambda p: p.stat().st_mtime)
+    paths = sorted(
+        (p for p in directory.glob("*.jsonl") if ".shard-" not in p.name),
+        key=lambda p: p.stat().st_mtime,
+    )
     return {p.stem: p for p in paths}
+
+
+def shard_path(
+    run_id: str, worker_id: str, directory: Optional[Path] = None
+) -> Path:
+    """Where worker ``worker_id``'s shard for ``run_id`` lives.
+
+    Shards sit next to the authoritative journal so a coordinator
+    resuming a run finds them with one glob; ``worker_id`` must be
+    filesystem-safe (the fleet sanitizes ids before opening shards).
+    """
+    directory = directory or journal_dir()
+    return Path(directory) / f"{run_id}.shard-{worker_id}.jsonl"
+
+
+def list_shards(run_id: str, directory: Optional[Path] = None) -> List[Path]:
+    """Every journal shard for ``run_id``, sorted by shard name.
+
+    Name order (not mtime) so that merge tie-breaking is a pure
+    function of the on-disk bytes, independent of filesystem timing.
+    """
+    directory = directory or journal_dir()
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"{run_id}.shard-*.jsonl"))
+
+
+class JournalShard:
+    """A fleet worker's private append-only slice of a run journal.
+
+    Workers cannot append to the authoritative journal — it is
+    single-writer and lives on the coordinator's host — so each worker
+    journals the cells it completes into its own shard and the
+    coordinator folds shards back in with
+    :meth:`RunJournal.merge_shards`. Entries carry a worker-local
+    monotonic ``seq`` so the merge can order duplicates without
+    trusting wall clocks across hosts.
+
+    Reopening an existing shard (a worker restarted after a crash)
+    resumes ``seq`` past the highest value on disk, so a restarted
+    worker never reuses sequence numbers.
+    """
+
+    def __init__(self, path: Path, run_id: str, worker_id: str) -> None:
+        self.path = path
+        self.run_id = run_id
+        self.worker_id = worker_id
+        self._fh = None
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def open(
+        cls,
+        run_id: str,
+        worker_id: str,
+        directory: Optional[Path] = None,
+    ) -> "JournalShard":
+        """Open (or create) this worker's shard, resuming ``seq``."""
+        directory = directory or journal_dir()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = shard_path(run_id, worker_id, directory)
+        shard = cls(path, run_id, worker_id)
+        fresh = True
+        if path.exists():
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    fresh = False
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail of a killed worker
+                    seq = entry.get("seq")
+                    if isinstance(seq, int) and seq >= shard._seq:
+                        shard._seq = seq + 1
+        shard._fh = open(path, "a")
+        if fresh:
+            shard._fh.write(
+                json.dumps(
+                    {
+                        "schema": SHARD_SCHEMA,
+                        "run_id": run_id,
+                        "worker_id": worker_id,
+                        "created": time.time(),
+                    }
+                )
+                + "\n"
+            )
+            shard._fh.flush()
+        return shard
+
+    def record(self, key: str, entry: dict) -> int:
+        """Append one entry (flushed immediately); returns its ``seq``."""
+        with self._lock:
+            assert self._fh is not None, "shard is closed"
+            seq = self._seq
+            self._seq += 1
+            payload = {"key": key, "seq": seq, **entry}
+            self._fh.write(json.dumps(payload, default=str) + "\n")
+            self._fh.flush()
+            return seq
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                finally:
+                    self._fh.close()
+                    self._fh = None
+
+    def __enter__(self) -> "JournalShard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class RunJournal:
@@ -99,6 +266,10 @@ class RunJournal:
         self._fh = None
         self._lock = threading.Lock()
         self._lock_fh = None
+        #: True when the ``.lock`` sidecar we acquired still recorded a
+        #: dead holder PID — a stale sidecar left by a SIGKILLed writer
+        #: (the flock itself died with it) that we reclaimed safely.
+        self.reclaimed_stale_lock = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -113,7 +284,13 @@ class RunJournal:
         holder dies (even via SIGKILL), so there is no stale-lease
         recovery problem. Raises :class:`JournalLockedError` when
         another live process (or another open journal in this process)
-        already holds it.
+        already holds it — the error reports the recorded holder PID
+        *and* whether that PID is still alive, so an operator can tell
+        a genuine second writer from a lock inherited by a stray child.
+
+        A sidecar whose recorded holder is dead but whose flock is free
+        (the normal aftermath of SIGKILL) is reclaimed silently;
+        :attr:`reclaimed_stale_lock` records that it happened.
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             return
@@ -129,7 +306,27 @@ class RunJournal:
             except OSError:
                 holder = ""
             lock_fh.close()
-            raise JournalLockedError(self.run_id, lock_path, holder) from None
+            holder_pid = _parse_holder_pid(holder)
+            holder_alive = None if holder_pid is None else _pid_alive(holder_pid)
+            raise JournalLockedError(
+                self.run_id, lock_path, holder, holder_alive=holder_alive
+            ) from None
+        # We hold the flock. If the sidecar still names a dead PID, the
+        # previous writer was killed without unwinding — the kernel
+        # already released its flock, so taking over is safe; note the
+        # reclaim for observability.
+        try:
+            lock_fh.seek(0)
+            previous = lock_fh.read(256).strip()
+        except OSError:
+            previous = ""
+        previous_pid = _parse_holder_pid(previous)
+        if (
+            previous_pid is not None
+            and previous_pid != os.getpid()
+            and not _pid_alive(previous_pid)
+        ):
+            self.reclaimed_stale_lock = True
         # Diagnostics for the *next* contender's error message.
         lock_fh.seek(0)
         lock_fh.truncate()
@@ -265,6 +462,74 @@ class RunJournal:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- shard merge --------------------------------------------------------
+
+    def merge_from(self, paths: Sequence[Path]) -> int:
+        """Fold worker journal shards into this journal; returns #appended.
+
+        For each key the winning shard entry is the one with the
+        highest ``(seq, shard name)`` — last-wins by each worker's local
+        sequence, ties broken by shard name so the outcome is a pure
+        function of the on-disk bytes. Torn tails (a worker killed
+        mid-append) and unreadable shards are skipped, never fatal.
+
+        Idempotent and crash-tolerant: keys this journal already
+        records as successful are skipped, so re-running the merge
+        after a coordinator died mid-merge appends only what is still
+        missing, and last-wins replay makes any duplicates harmless.
+        """
+        winners: Dict[str, Tuple[Tuple[int, str], dict]] = {}
+        for path in paths:
+            path = Path(path)
+            try:
+                fh = open(path)
+            except OSError:
+                continue  # shard vanished (GC raced us) — nothing to merge
+            with fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail of a killed worker
+                    key = entry.get("key")
+                    if key is None:
+                        continue  # shard header
+                    seq = entry.get("seq")
+                    rank = (seq if isinstance(seq, int) else -1, path.name)
+                    best = winners.get(key)
+                    if best is None or rank >= best[0]:
+                        winners[key] = (rank, {**entry, "shard": path.name})
+        merged = 0
+        for key in sorted(winners):
+            _, entry = winners[key]
+            existing = self._entries.get(key)
+            if existing is not None and existing.get("ok"):
+                continue  # already authoritative — idempotent re-merge
+            self.record(key, {k: v for k, v in entry.items() if k != "key"})
+            merged += 1
+        return merged
+
+    def merge_shards(self, remove_merged: bool = False) -> int:
+        """Merge every on-disk shard of this run; returns #appended.
+
+        With ``remove_merged`` the shards are deleted afterwards —
+        safe because their entries now live in the authoritative
+        journal (and deleting a journal file only ever costs
+        recomputation, never correctness).
+        """
+        paths = list_shards(self.run_id, self.path.parent)
+        merged = self.merge_from(paths)
+        if remove_merged:
+            for path in paths:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # already gone, or racing a late writer append
+        return merged
 
     # -- interrupt safety --------------------------------------------------
 

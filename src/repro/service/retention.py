@@ -1,0 +1,104 @@
+"""``repro.service.retention`` — garbage collection for job journals.
+
+Every service job checkpoints its cells under a content-keyed run
+journal (``job-<key>.jsonl``), and every fleet worker that helped
+leaves a shard (``job-<key>.shard-<worker>.jsonl``) next to it. Those
+files are the resume substrate while the job can still be re-run
+cheaply — and dead weight forever after. :func:`sweep_retention`
+reclaims them:
+
+* a **terminal** job older than the retention window loses its run
+  journal, lock sidecar, and shards — unless a *live* job shares the
+  same run id (an idempotent resubmission mid-flight), which protects
+  it;
+* an **orphaned shard** — one whose authoritative journal is gone
+  (deleted by an earlier sweep, or the run was removed by hand) — is
+  deleted once it is itself older than the window, so a worker still
+  appending to it during a coordinator restart is never raced.
+
+The service journal (``service-<id>.jsonl``) holds the job *records*
+and is never touched: terminal jobs stay queryable; only their cell
+checkpoints are reclaimed. Re-submitting an expired job key simply
+recomputes — retention trades resume speed for disk, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.journal import journal_dir, list_shards
+
+__all__ = ["sweep_retention"]
+
+
+def _unlink(path: Path, counters: Dict[str, int], what: str) -> None:
+    try:
+        size = path.stat().st_size
+        path.unlink()
+    except OSError:
+        return
+    counters[what] += 1
+    counters["bytes_reclaimed"] += size
+
+
+def sweep_retention(
+    jobs: Iterable,
+    retention_seconds: float,
+    directory: Optional[Path] = None,
+    now: Optional[float] = None,
+    log=None,
+) -> Dict[str, int]:
+    """One GC pass; returns the counters ``/metrics`` accumulates.
+
+    ``jobs`` is the store's job records (anything with ``terminal``,
+    ``finished``, and ``run_id`` attributes). Idempotent and crash-safe:
+    a pass interrupted half-way just leaves work for the next pass.
+    """
+    directory = Path(directory) if directory is not None else journal_dir()
+    now = time.time() if now is None else now
+    counters = {
+        "journals_deleted": 0,
+        "shards_deleted": 0,
+        "orphan_shards_deleted": 0,
+        "bytes_reclaimed": 0,
+    }
+    protected = set()
+    expired = set()
+    for job in jobs:
+        if not job.terminal:
+            protected.add(job.run_id)
+        elif job.finished is not None and now - job.finished >= retention_seconds:
+            expired.add(job.run_id)
+        else:
+            protected.add(job.run_id)
+    for run_id in sorted(expired - protected):
+        journal_path = directory / f"{run_id}.jsonl"
+        if journal_path.exists():
+            _unlink(journal_path, counters, "journals_deleted")
+            try:
+                Path(str(journal_path) + ".lock").unlink()
+            except OSError:
+                pass
+            if log is not None:
+                log(f"retention: reclaimed journal {run_id}")
+        for shard in list_shards(run_id, directory):
+            _unlink(shard, counters, "shards_deleted")
+    # Shards whose authoritative journal no longer exists. The age guard
+    # keeps a live fleet worker's shard safe while its (restarting)
+    # coordinator has yet to recreate the journal.
+    for shard in sorted(directory.glob("*.shard-*.jsonl")):
+        run_id = shard.name.split(".shard-")[0]
+        if run_id in protected or (directory / f"{run_id}.jsonl").exists():
+            continue
+        try:
+            age = now - shard.stat().st_mtime
+        except OSError:
+            continue
+        if age >= retention_seconds:
+            _unlink(shard, counters, "orphan_shards_deleted")
+            if log is not None:
+                log(f"retention: reclaimed orphan shard {shard.name}")
+    return counters

@@ -65,6 +65,7 @@ def _execute_sweep(
     journal: RunJournal,
     should_abort: Callable[[], bool],
     progress: Optional[Callable[[int, int, str, Optional[str]], None]],
+    fleet=None,
 ) -> Dict[str, Any]:
     from repro import sweep
     from repro.experiments import common
@@ -96,6 +97,7 @@ def _execute_sweep(
         journal=journal,
         progress=progress,
         should_abort=should_abort,
+        fleet=fleet,
     )
     return {
         "kind": "sweep",
@@ -125,6 +127,7 @@ def _execute_sweep(
         "mode": report.mode,
         "workers": report.workers,
         "supervisor": report.stats.as_dict(),
+        "fleet": report.fleet,
         "failures": report.failures(),
     }
 
@@ -202,6 +205,7 @@ def execute_job(
     job: Job,
     should_abort: Callable[[], bool],
     progress: Optional[Callable[[int, int, str, Optional[str]], None]] = None,
+    fleet=None,
 ) -> Dict[str, Any]:
     """Run one job to completion inside the calling (worker) thread.
 
@@ -216,7 +220,7 @@ def execute_job(
     journal = RunJournal.open(job.run_id, create=True)
     try:
         if job.spec.kind == "sweep":
-            return _execute_sweep(job, journal, should_abort, progress)
+            return _execute_sweep(job, journal, should_abort, progress, fleet=fleet)
         if job.spec.kind == "chaos":
             return _execute_chaos(job, journal, should_abort)
         if job.spec.kind == "recovery":
@@ -253,10 +257,12 @@ class FairShareScheduler:
         store: JobStore,
         quota: Optional[TenantQuota] = None,
         max_concurrent: int = 1,
+        fleet=None,
     ) -> None:
         self.store = store
         self.quota = quota or TenantQuota()
         self.max_concurrent = max(1, max_concurrent)
+        self.fleet = fleet  # FleetCoordinator sweep jobs fan out through
         self.draining = False
         self._queue: List[str] = []  # job ids, unsorted (picker sorts)
         self._running: Dict[str, _RunningJob] = {}
@@ -473,6 +479,7 @@ class FairShareScheduler:
             job,
             running.abort.is_set,
             progress,
+            self.fleet,
         )
         asyncio.ensure_future(self._finish(running))
 

@@ -39,6 +39,7 @@ from typing import Any, Dict, Optional
 
 from repro.service.admission import AdmissionController, AdmissionError, TenantQuota
 from repro.service.jobs import JOB_KINDS, JobSpec, JobStore
+from repro.service.retention import sweep_retention
 from repro.service.scheduler import FairShareScheduler
 from repro.service.wire import (
     HttpRequest,
@@ -67,6 +68,13 @@ class ServiceConfig:
     max_concurrent: int = 1
     drain_grace_seconds: float = 30.0
     journal_directory: Optional[Path] = None
+    #: Delete terminal jobs' run journals (and their fleet shards) this
+    #: many hours after they finish; None disables the GC entirely.
+    retention_hours: Optional[float] = None
+    retention_interval_seconds: float = 60.0
+    #: ``host:port`` to accept fleet workers on; sweep jobs then fan
+    #: out across the fleet instead of (only) the local pool.
+    fleet_listen: Optional[str] = None
     log: Any = None  # callable(str) or None
 
 
@@ -83,6 +91,9 @@ class SimulationService:
         self._server: Optional[asyncio.AbstractServer] = None
         self._done: Optional[asyncio.Event] = None
         self._drain_task: Optional[asyncio.Task] = None
+        self._retention_task: Optional[asyncio.Task] = None
+        self.fleet = None  # FleetCoordinator when fleet_listen is set
+        self.retention_stats: Dict[str, int] = {}
         self.port: Optional[int] = None
         self.recovered_jobs = 0
 
@@ -102,8 +113,26 @@ class SimulationService:
         self.admission = AdmissionController(
             quota=cfg.quota, max_total_queued=cfg.max_total_queued
         )
+        if cfg.fleet_listen:
+            from repro.fleet import FleetCoordinator
+
+            fleet_host, _, fleet_port = cfg.fleet_listen.rpartition(":")
+            self.fleet = FleetCoordinator(
+                host=fleet_host or "127.0.0.1",
+                port=int(fleet_port or 0),
+                log=self._log,
+            ).start()
+            self._log(
+                f"fleet coordinator on "
+                f"{self.fleet.host}:{self.fleet.port} — join with: "
+                f"border-control worker --connect "
+                f"{self.fleet.host}:{self.fleet.port}"
+            )
         self.scheduler = FairShareScheduler(
-            self.store, quota=cfg.quota, max_concurrent=cfg.max_concurrent
+            self.store,
+            quota=cfg.quota,
+            max_concurrent=cfg.max_concurrent,
+            fleet=self.fleet,
         )
         await self.scheduler.start()
         recovered = self.store.recover()
@@ -121,6 +150,8 @@ class SimulationService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._install_signal_handlers()
+        if cfg.retention_hours is not None:
+            self._retention_task = asyncio.ensure_future(self._retention_loop())
         self.state = "ready"
         self._log(
             f"repro.service {cfg.service_id!r} ready on "
@@ -156,11 +187,17 @@ class SimulationService:
         if self.state == "stopped":
             return
         self.state = "stopped"
+        if self._retention_task is not None:
+            self._retention_task.cancel()
+            self._retention_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         if self.scheduler is not None:
             await self.scheduler.stop()
+        if self.fleet is not None:
+            self.fleet.stop()
+            self.fleet = None
         if self.store is not None:
             self.store.close()
         if self._done is not None:
@@ -169,6 +206,36 @@ class SimulationService:
     async def serve_forever(self) -> None:
         assert self._done is not None, "start() not called"
         await self._done.wait()
+
+    # -- retention GC --------------------------------------------------------
+
+    def run_retention_pass(self, now: Optional[float] = None) -> Dict[str, int]:
+        """One journal-GC pass; accumulated into :attr:`retention_stats`."""
+        assert self.store is not None
+        assert self.config.retention_hours is not None
+        # Job run journals live in the default journal directory (the
+        # service journal's ``journal_directory`` override is separate).
+        counters = sweep_retention(
+            list(self.store.jobs.values()),
+            self.config.retention_hours * 3600.0,
+            now=now,
+            log=self._log,
+        )
+        self.retention_stats["passes"] = self.retention_stats.get("passes", 0) + 1
+        for name, value in counters.items():
+            self.retention_stats[name] = self.retention_stats.get(name, 0) + value
+        return counters
+
+    async def _retention_loop(self) -> None:
+        interval = max(1.0, self.config.retention_interval_seconds)
+        while True:
+            try:
+                self.run_retention_pass()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - GC must not kill serving
+                self._log(f"retention pass failed: {type(exc).__name__}: {exc}")
+            await asyncio.sleep(interval)
 
     # -- connection handling ------------------------------------------------
 
@@ -281,6 +348,10 @@ class SimulationService:
                 "scheduler": self.scheduler.snapshot(),
                 "tenants": tenants,
                 "warm_workers": warm_registry_stats(),
+                "retention": dict(self.retention_stats),
+                "fleet": (
+                    self.fleet.stats_snapshot() if self.fleet is not None else None
+                ),
             },
         )
 

@@ -15,7 +15,12 @@ Scope (all the server needs, nothing more):
   machine trivial and is plenty for a job-submission API);
 * chunked transfer encoding — :class:`JsonlStream` streams job progress
   as one JSON document per chunk (`application/jsonl`), the format the
-  ``/v1/jobs/<id>/events`` endpoint serves.
+  ``/v1/jobs/<id>/events`` endpoint serves;
+* length-prefixed JSON frames — :func:`encode_frame` /
+  :func:`read_frame`, the symmetric framing :mod:`repro.fleet` speaks
+  between coordinator and workers (a persistent bidirectional stream,
+  where HTTP's one-request-per-connection shape would fight the
+  heartbeat/assignment traffic).
 
 Anything malformed raises :class:`WireError` carrying the HTTP status
 the connection handler should answer with before closing.
@@ -24,18 +29,22 @@ the connection handler should answer with before closing.
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "MAX_FRAME_BYTES",
     "MAX_HEADER_BYTES",
     "MAX_REQUEST_LINE",
     "HttpRequest",
     "JsonlStream",
     "WireError",
+    "encode_frame",
     "encode_response",
+    "read_frame",
     "read_request",
     "send_json",
 ]
@@ -43,6 +52,7 @@ __all__ = [
 MAX_REQUEST_LINE = 8 * 1024
 MAX_HEADER_BYTES = 32 * 1024
 MAX_BODY_BYTES = 4 * 1024 * 1024
+MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _REASONS = {
     200: "OK",
@@ -159,6 +169,47 @@ async def read_request(
         headers=headers,
         body=body,
     )
+
+
+def encode_frame(payload: Any, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """One fleet frame: 4-byte big-endian length prefix + JSON body.
+
+    Pure and symmetric with :func:`read_frame`, so both ends (and the
+    fault-injecting transport between them) treat a frame as an opaque
+    byte string — dropping, duplicating, or delaying one can never
+    produce a *torn* frame, only a missing or repeated message.
+    """
+    body = json.dumps(payload, default=str).encode("utf-8")
+    if len(body) > max_frame:
+        raise WireError(413, f"frame of {len(body)} bytes exceeds {max_frame}")
+    return struct.pack(">I", len(body)) + body
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> Optional[Any]:
+    """Read one length-prefixed JSON frame; ``None`` on clean EOF.
+
+    A torn prefix or body (peer died mid-write) is EOF too — the frame
+    never happened. An oversized or undecodable frame raises
+    :class:`WireError`: the stream is now unframeable and the caller
+    must drop the connection.
+    """
+    try:
+        prefix = await reader.readexactly(4)
+    except (EOFError, ConnectionError, OSError):
+        return None
+    except Exception:  # IncompleteReadError subclasses EOFError; belt+braces
+        return None
+    (length,) = struct.unpack(">I", prefix)
+    if length > max_frame:
+        raise WireError(413, f"frame of {length} bytes exceeds {max_frame}")
+    try:
+        body = await reader.readexactly(length)
+    except (EOFError, ConnectionError, OSError):
+        return None
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(400, f"frame body is not valid JSON: {exc}")
 
 
 def encode_response(

@@ -600,7 +600,10 @@ def run_chaos_single(
     ticks_of = system.gpu_clock.cycles_to_ticks
     kernel.quarantine_backoff_ticks = ticks_of(quarantine_backoff_cycles)
 
-    kinds = tuple(kinds)
+    # Fleet-network kinds belong to repro.fleet's transport, not to the
+    # simulation; dropping them keeps chaos signatures independent of
+    # which transport kinds exist.
+    kinds = tuple(k for k in kinds if not k.fleet_only)
     if plan is None:
         plan = FaultPlan(seed, default_fault_specs(kinds, ticks_of(200.0)))
 
@@ -804,7 +807,7 @@ def chaos_grid(
     arguments regardless of execution order or parallelism.
     """
     workloads = list(workloads or DEFAULT_CHAOS_WORKLOADS)
-    kinds = list(kinds or DEFAULT_CHAOS_KINDS)
+    kinds = [k for k in (kinds or DEFAULT_CHAOS_KINDS) if not k.fleet_only]
     if quick:
         ops_scale = min(ops_scale, 0.25)
     cells: List[Dict[str, object]] = []

@@ -60,6 +60,7 @@ from typing import (
 )
 
 from repro.errors import TransientCellError
+from repro.faults.plan import derive_seed
 
 __all__ = [
     "BUNDLE_SCHEMA",
@@ -116,12 +117,32 @@ class SupervisorPolicy:
     max_identical_failures: int = 2
     #: Where poison repro bundles land (None = skip writing bundles).
     quarantine_dir: Optional[Path] = None
+    #: Retry-jitter amplitude: each backoff delay is scaled by a factor
+    #: drawn deterministically from ``[1 - jitter, 1 + jitter]``. Without
+    #: it, N tasks failing together (one dead node, one throttled disk)
+    #: back off in lockstep and retry as a thundering herd — across a
+    #: fleet, all against the same coordinator. 0 disables jitter.
+    jitter: float = 0.25
+    #: Seed for the jitter draw. The sweep layer derives it from the run
+    #: id, so a resumed run replays the exact same delays (replay
+    #: determinism) while different runs decorrelate.
+    jitter_seed: int = 0
 
-    def backoff(self, attempts: int) -> float:
-        """Delay before re-running a task that has failed ``attempts`` times."""
+    def backoff(self, attempts: int, jitter_key: str = "") -> float:
+        """Delay before re-running a task that has failed ``attempts`` times.
+
+        ``jitter_key`` identifies the (task, attempt) doing the waiting;
+        the delay is then a pure function of ``(policy, jitter_key)`` —
+        deterministic under replay, decorrelated across tasks. An empty
+        key skips jitter (the bare exponential schedule).
+        """
         if attempts <= 0:
             return 0.0
-        return min(self.backoff_max, self.backoff_base * (2.0 ** (attempts - 1)))
+        delay = min(self.backoff_max, self.backoff_base * (2.0 ** (attempts - 1)))
+        if self.jitter > 0.0 and jitter_key:
+            unit = derive_seed(self.jitter_seed, jitter_key) / 0xFFFFFFFF
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return delay
 
 
 @dataclass
@@ -281,6 +302,7 @@ class _Supervisor:
         serial_setup: Optional[Callable[[], None]] = None,
         serial_teardown: Optional[Callable[[], None]] = None,
         should_abort: Optional[Callable[[], bool]] = None,
+        pool_factory: Optional[Callable[..., ProcessPoolExecutor]] = None,
     ) -> None:
         self.fn = fn
         self.tasks = tasks
@@ -296,6 +318,7 @@ class _Supervisor:
         self.serial_setup = serial_setup
         self.serial_teardown = serial_teardown
         self.should_abort = should_abort
+        self.pool_factory = pool_factory
         self.outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         self.states = [_TaskState(i) for i in range(len(tasks))]
         self.done_count = 0
@@ -370,7 +393,9 @@ class _Supervisor:
         if state.attempts > self.policy.retries:
             return None
         self.stats.retries += 1
-        return self.policy.backoff(state.attempts)
+        return self.policy.backoff(
+            state.attempts, jitter_key=f"{state.index}:{state.attempts}"
+        )
 
     def _quarantine(self, state: _TaskState, error: str) -> None:
         self.stats.poison_cells += 1
@@ -435,7 +460,8 @@ class _Supervisor:
     # -- parallel path -----------------------------------------------------
 
     def _new_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
+        factory = self.pool_factory or ProcessPoolExecutor
+        return factory(
             max_workers=min(self.workers, len(self.tasks)),
             initializer=self.initializer,
             initargs=self.initargs,
@@ -679,6 +705,7 @@ def supervised_map(
     serial_setup: Optional[Callable[[], None]] = None,
     serial_teardown: Optional[Callable[[], None]] = None,
     should_abort: Optional[Callable[[], bool]] = None,
+    pool_factory: Optional[Callable[..., ProcessPoolExecutor]] = None,
 ) -> Tuple[List[TaskOutcome], str]:
     """Run ``fn`` over ``tasks`` under supervision, preserving order.
 
@@ -702,6 +729,13 @@ def supervised_map(
     workers are killed, and every unfinished task is sealed with an
     :data:`ERROR_ABORTED` outcome — the cooperative-cancellation hook
     the job server's cancel/drain/deadline paths use.
+
+    ``pool_factory`` swaps the executor backend: it is called with the
+    same keyword arguments as :class:`ProcessPoolExecutor`
+    (``max_workers``, ``initializer``, ``initargs``) for the initial
+    pool *and every rebuilt one* — which is why it is a factory, not an
+    executor instance. Fleet workers use it to bound their local pool
+    and tests use it to inject failing pools.
     """
     sup = _Supervisor(
         fn,
@@ -718,6 +752,7 @@ def supervised_map(
         serial_setup=serial_setup,
         serial_teardown=serial_teardown,
         should_abort=should_abort,
+        pool_factory=pool_factory,
     )
     if workers <= 1 or len(tasks) <= 1:
         return sup.run_serial(), "serial"

@@ -51,10 +51,12 @@ import dataclasses
 import json
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -67,7 +69,11 @@ from typing import (
 
 from repro.errors import SweepError
 from repro.experiments import common
+from repro.faults.plan import derive_seed
 from repro.journal import RunJournal
+
+if TYPE_CHECKING:  # repro.fleet imports this module; no runtime cycle
+    from repro.fleet import FleetCoordinator
 from repro.sim.config import GPUThreading, SafetyMode
 from repro.sim.runner import RunResult, clear_warm_registry, run_single
 from repro.supervisor import (
@@ -195,8 +201,10 @@ class SweepReport:
     outcomes: List[CellOutcome]
     workers: int
     wall_seconds: float
-    mode: str  # "parallel" | "serial"
+    mode: str  # "parallel" | "serial" | "fleet"
     stats: SupervisorStats = field(default_factory=SupervisorStats)
+    #: Coordinator counters when the run used a fleet (else ``None``).
+    fleet: Optional[Dict[str, int]] = None
 
     @property
     def results(self) -> List[RunResult]:
@@ -306,6 +314,22 @@ class SweepReport:
             f"{name} {value}" for name, value in stats.items()
         )
         lines = [table, summary, supervisor]
+        if self.fleet:
+            interesting = (
+                "workers_seen",
+                "results",
+                "expired_leases",
+                "reassigned",
+                "stolen",
+                "duplicate_results",
+                "dead_workers",
+            )
+            lines.append(
+                "fleet: "
+                + ", ".join(
+                    f"{name} {self.fleet.get(name, 0)}" for name in interesting
+                )
+            )
         # Surface recovery activity (epoch-fenced resets, retries, CPU
         # fallbacks) whenever any cell's RunResult recorded some — quiet
         # sweeps keep their old output.
@@ -575,6 +599,7 @@ def run_sweep(
     policy: Optional[SupervisorPolicy] = None,
     journal: Optional[RunJournal] = None,
     should_abort: Optional[Callable[[], bool]] = None,
+    fleet: Optional["FleetCoordinator"] = None,
 ) -> SweepReport:
     """Run a grid of cells, in parallel when ``workers`` allows.
 
@@ -604,11 +629,36 @@ def run_sweep(
     sweep stops dispatching, in-flight workers are killed, and the
     unfinished cells come back as ``aborted`` failures — already
     completed cells stay journaled, so a resume runs only the rest.
+
+    ``fleet`` (a started :class:`repro.fleet.FleetCoordinator`) fans
+    pending cells out to remote workers first; whatever the fleet could
+    not place — no workers connected, a mid-campaign abort — runs on
+    the local supervised pool, so a workerless fleet degrades to
+    exactly the single-host behavior. Fleet results are journaled as
+    they arrive, and any journal shards left by workers of a previous
+    (killed) coordinator are merged before the resume scan, which is
+    what makes coordinator SIGKILL + restart a zero-re-execution event.
     """
     start = time.perf_counter()
     stats = SupervisorStats()
     total = len(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * total
+
+    if journal is not None:
+        # Fold in worker shards (no-op without any): cells a fleet
+        # worker completed while the coordinator was dead rehydrate
+        # below exactly like locally journaled ones.
+        try:
+            journal.merge_shards()
+        except OSError:  # shard dir unreadable — recompute instead
+            pass
+        # Retry backoff jitter is seeded from the run id so a resumed
+        # run replays identical delays while runs decorrelate.
+        if policy is None or (policy.jitter > 0 and policy.jitter_seed == 0):
+            policy = dataclasses.replace(
+                policy or SupervisorPolicy(),
+                jitter_seed=derive_seed(0, journal.run_id),
+            )
 
     pending: List[int] = []
     for i, cell in enumerate(cells):
@@ -655,6 +705,58 @@ def run_sweep(
         )
 
     mode = "serial"
+    fleet_stats: Optional[Dict[str, int]] = None
+    if fleet is not None and pending:
+        fleet_cells = [cells[i] for i in pending]
+        done_lock = threading.Lock()
+        done_boxed = [total - len(pending)]
+
+        def on_entry(local_index: int, entry: dict) -> None:
+            # Runs on the coordinator thread as each RESULT lands:
+            # journal immediately (record is thread-safe) so a killed
+            # run resumes from everything the fleet finished.
+            cell = fleet_cells[local_index]
+            if journal is not None:
+                journal.record(cell.journal_key(), entry)
+            with done_lock:
+                done_boxed[0] += 1
+                done_now = done_boxed[0]
+            if progress is not None:
+                progress(done_now, total, cell.label, entry.get("error"))
+
+        placed, leftovers = fleet.map_cells(
+            fleet_cells,
+            use_disk=use_disk,
+            fresh=fresh,
+            run_id=journal.run_id if journal is not None else None,
+            journal_dir=(
+                journal.path.parent if journal is not None else None
+            ),
+            on_entry=on_entry,
+            should_abort=should_abort,
+        )
+        for local_index, entry in placed.items():
+            i = pending[local_index]
+            cell = cells[i]
+            result = None
+            if entry.get("result") is not None:
+                result = common._result_from_dict(entry["result"])
+            outcomes[i] = CellOutcome(
+                cell,
+                result,
+                entry.get("error"),
+                float(entry.get("wall_seconds", 0.0)),
+                cache_hit=bool(entry.get("cache_hit")),
+                attempts=int(entry.get("attempts", 1)),
+                error_kind=entry.get("error_kind"),
+            )
+            if result is not None and cell.cacheable and not fresh:
+                common.store_result(cell.key(), result, use_disk=use_disk)
+        if placed:
+            mode = "fleet"
+        fleet_stats = fleet.stats_snapshot()
+        # Whatever the fleet could not place degrades to the local pool.
+        pending = [pending[j] for j in leftovers]
     if pending:
         # Tasks are bare indexes; the cells themselves are pickled once
         # into the worker initializer (and installed around the serial
@@ -687,9 +789,11 @@ def run_sweep(
 
         if journal is not None:
             with journal.signal_guard():
-                raw, mode = guarded()
+                raw, local_mode = guarded()
         else:
-            raw, mode = guarded()
+            raw, local_mode = guarded()
+        if mode != "fleet":  # fleet placements outrank the local tail
+            mode = local_mode
         for i, out in zip(pending, raw):
             cell = cells[i]
             result, hit = (None, False) if out.value is None else out.value
@@ -712,6 +816,7 @@ def run_sweep(
         wall_seconds=wall,
         mode=mode,
         stats=stats,
+        fleet=fleet_stats,
     )
 
 

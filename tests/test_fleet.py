@@ -1,0 +1,678 @@
+"""Tests for the fault-tolerant distributed worker fleet (repro.fleet).
+
+Covers the binary frame layer (length-prefixed JSON over the service
+wire module), the seeded network fault injection transport, lease
+bookkeeping (expiry, reassignment, the poison bound, heartbeat
+reconciliation), worker-side duplicate-ASSIGN memory and revocation,
+end-to-end campaigns over real sockets (clean, chaotic, and with a
+SIGKILL'd worker), and graceful degradation to the local pool when the
+fleet has no workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import sweep
+from repro.errors import FleetError
+from repro.experiments import common
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.fleet import FleetCoordinator, FleetWorker, chaos_plan, protocol
+from repro.fleet.coordinator import _Campaign, _Lease, _WorkerState
+from repro.fleet.transport import FaultyTransport
+from repro.fleet.worker import sanitize_worker_id
+from repro.journal import RunJournal
+from repro.service.wire import WireError, encode_frame, read_frame
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.supervisor import ERROR_CRASH
+
+SCALE = 0.05
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.clear_cache()
+    yield
+    common.clear_cache()
+
+
+def _cells(count=4):
+    return [
+        sweep.Cell(
+            workload="bfs",
+            safety=SafetyMode.ATS_ONLY,
+            threading=GPUThreading.MODERATELY,
+            ops_scale=SCALE,
+            seed=1234 + i,
+        )
+        for i in range(count)
+    ]
+
+
+def _read_one(data: bytes, **kwargs):
+    loop = asyncio.new_event_loop()
+    try:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return loop.run_until_complete(read_frame(reader, **kwargs))
+    finally:
+        loop.close()
+
+
+# ---------------------------------------------------------------------------
+# binary framing
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = protocol.heartbeat("w1", held=["a", "b"], running=2)
+        assert _read_one(encode_frame(frame)) == frame
+
+    def test_torn_length_prefix_is_eof(self):
+        assert _read_one(b"\x00\x00") is None
+
+    def test_torn_body_is_eof(self):
+        data = encode_frame({"type": "hello"})
+        assert _read_one(data[:-3]) is None
+
+    def test_multiple_frames_in_one_stream(self):
+        loop = asyncio.new_event_loop()
+        try:
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"n": 1}) + encode_frame({"n": 2}))
+            reader.feed_eof()
+            assert loop.run_until_complete(read_frame(reader)) == {"n": 1}
+            assert loop.run_until_complete(read_frame(reader)) == {"n": 2}
+            assert loop.run_until_complete(read_frame(reader)) is None
+        finally:
+            loop.close()
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(WireError):
+            encode_frame({"blob": "x" * 64}, max_frame=16)
+
+    def test_oversized_read_rejected(self):
+        data = encode_frame({"blob": "x" * 1024})
+        with pytest.raises(WireError):
+            _read_one(data, max_frame=16)
+
+    def test_undecodable_body_rejected(self):
+        import struct
+
+        body = b"\xff\xfe not json"
+        data = struct.pack(">I", len(body)) + body
+        with pytest.raises(WireError):
+            _read_one(data)
+
+
+def test_oversized_read_guard_is_prefix_based():
+    """A huge declared length raises before any body bytes arrive."""
+    import struct
+
+    loop = asyncio.new_event_loop()
+    try:
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", 1 << 30))
+        with pytest.raises(WireError):
+            loop.run_until_complete(read_frame(reader))
+    finally:
+        loop.close()
+
+
+# ---------------------------------------------------------------------------
+# fault-injecting transport
+# ---------------------------------------------------------------------------
+
+
+class _CaptureWriter:
+    def __init__(self):
+        self.chunks = []
+        self.closed = False
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        self.closed = True
+
+
+def _faulty(specs, feed=b""):
+    reader = asyncio.StreamReader()
+    if feed:
+        reader.feed_data(feed)
+    reader.feed_eof()
+    writer = _CaptureWriter()
+    transport = FaultyTransport(reader, writer, plan=FaultPlan(7, specs))
+    transport.bind("w")
+    return transport, writer
+
+
+class TestFaultyTransport:
+    def _run(self, coro):
+        loop = asyncio.new_event_loop()
+        try:
+            return loop.run_until_complete(coro)
+        finally:
+            loop.close()
+
+    def test_drop_swallows_one_send(self):
+        specs = [FaultSpec(FaultKind.DROP, "fleet.w.out", 1.0, max_count=1)]
+        transport, writer = _faulty(specs)
+
+        async def scenario():
+            await transport.send({"n": 1})  # dropped
+            await transport.send({"n": 2})  # passes
+
+        self._run(scenario())
+        assert [_read_one(c) for c in writer.chunks] == [{"n": 2}]
+        assert transport.counters["frames_dropped"] == 1
+
+    def test_dup_frame_sends_twice(self):
+        specs = [FaultSpec(FaultKind.DUP_FRAME, "fleet.w.out", 1.0, max_count=1)]
+        transport, writer = _faulty(specs)
+        self._run(transport.send({"n": 1}))
+        assert [_read_one(c) for c in writer.chunks] == [{"n": 1}, {"n": 1}]
+        assert transport.counters["frames_duplicated"] == 1
+
+    def test_partition_blacks_out_both_directions(self):
+        specs = [
+            FaultSpec(
+                FaultKind.PARTITION, "fleet.w.out", 1.0, max_count=1, param=2
+            )
+        ]
+        feed = encode_frame({"in": 1}) + encode_frame({"in": 2})
+        transport, writer = _faulty(specs, feed=feed)
+
+        async def scenario():
+            await transport.send({"out": 1})  # opens the partition, swallowed
+            await transport.send({"out": 2})  # blackout frame 1 of 2
+            got = await transport.recv()  # blackout frame 2 of 2 -> {"in": 2}
+            await transport.send({"out": 3})  # link restored
+            return got
+
+        got = self._run(scenario())
+        assert got == {"in": 2}
+        assert [_read_one(c) for c in writer.chunks] == [{"out": 3}]
+        assert transport.counters["partitions"] == 1
+        assert transport.counters["frames_partitioned"] == 2
+
+    def test_recv_drop_and_dup(self):
+        specs = [FaultSpec(FaultKind.DROP, "fleet.w.in", 1.0, max_count=1)]
+        feed = encode_frame({"n": 1}) + encode_frame({"n": 2})
+        transport, _ = _faulty(specs, feed=feed)
+
+        async def scenario():
+            return await transport.recv()
+
+        assert self._run(scenario()) == {"n": 2}
+
+        specs = [FaultSpec(FaultKind.DUP_FRAME, "fleet.w.in", 1.0, max_count=1)]
+        transport, _ = _faulty(specs, feed=encode_frame({"n": 1}))
+
+        async def scenario2():
+            first = await transport.recv()
+            second = await transport.recv()
+            return first, second
+
+        assert self._run(scenario2()) == ({"n": 1}, {"n": 1})
+
+    def test_seeded_plan_is_deterministic(self):
+        def sequence():
+            plan = chaos_plan(
+                99, ["w1", "w2"], drop_rate=0.3, delay_rate=0.0, dup_rate=0.3
+            )
+            injector = plan.for_site("fleet.w1.out")
+            return [
+                (spec.kind.value if spec else None)
+                for spec in (injector.draw() for _ in range(40))
+            ]
+
+        assert sequence() == sequence()
+        assert any(kind for kind in sequence())
+
+
+# ---------------------------------------------------------------------------
+# coordinator lease bookkeeping (no sockets)
+# ---------------------------------------------------------------------------
+
+
+class _StubLoop:
+    def __init__(self):
+        self.now = 0.0
+
+    def time(self):
+        return self.now
+
+
+class _StubTransport:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def _campaign(cells=3):
+    return _Campaign(
+        campaign_id="camp",
+        cells=_cells(cells),
+        use_disk=True,
+        fresh=False,
+        run_id=None,
+        journal_dir=None,
+        on_entry=None,
+    )
+
+
+class TestLeaseBookkeeping:
+    def test_expiry_reassigns_with_charge(self):
+        coord = FleetCoordinator(max_reassigns=5)
+        camp = _campaign()
+        lease = _Lease("camp:0:1", 0, "w1", granted=0.0)
+        camp.leases[lease.lease_id] = lease
+        camp.pending.clear()
+        coord._expire_lease(camp, lease, "test")
+        assert list(camp.pending) == [0]
+        assert camp.charges[0] == 1
+        assert coord.stats["expired_leases"] == 1
+        assert coord.stats["reassigned"] == 1
+        assert 0 not in camp.outcomes
+
+    def test_poison_bound_finalizes_as_crash(self):
+        coord = FleetCoordinator(max_reassigns=2)
+        camp = _campaign()
+        for grant in range(3):
+            lease = _Lease(f"camp:0:{grant}", 0, "w1", granted=0.0)
+            camp.leases[lease.lease_id] = lease
+            coord._expire_lease(camp, lease, "worker lost: test")
+        entry = camp.outcomes[0]
+        assert entry["ok"] is False
+        assert entry["error_kind"] == ERROR_CRASH
+        assert "poison" in entry["error"]
+        assert coord.stats["finalized_failures"] == 1
+
+    def test_heartbeat_reconciliation_expires_unheld_lease(self):
+        coord = FleetCoordinator(heartbeat_seconds=0.5)
+        coord._loop = _StubLoop()
+        coord._loop.now = 10.0
+        camp = _campaign()
+        ws = _WorkerState("w1", _StubTransport())
+        ws.welcomed = True
+        ws.last_seen = 10.0
+        ws.reported_held = {"camp:1:2"}  # knows about a different lease
+        ws.report_time = 10.0
+        coord._workers["w1"] = ws
+        lease = _Lease("camp:0:1", 0, "w1", granted=8.0)  # 2s > 2x heartbeat
+        camp.leases[lease.lease_id] = lease
+        ws.held.add(lease.lease_id)
+        camp.pending.clear()
+        coord._check_expiries(camp)
+        assert "camp:0:1" not in camp.leases
+        assert list(camp.pending) == [0]
+        coord._loop = None
+
+    def test_lease_deadline_expires_even_if_reported_held(self):
+        coord = FleetCoordinator(heartbeat_seconds=0.5, lease_seconds=1.0)
+        coord._loop = _StubLoop()
+        coord._loop.now = 10.0
+        camp = _campaign()
+        ws = _WorkerState("w1", _StubTransport())
+        ws.welcomed = True
+        ws.last_seen = 10.0
+        ws.reported_held = {"camp:0:1"}
+        ws.report_time = 10.0
+        coord._workers["w1"] = ws
+        lease = _Lease("camp:0:1", 0, "w1", granted=5.0)
+        camp.leases[lease.lease_id] = lease
+        ws.held.add(lease.lease_id)
+        camp.pending.clear()
+        coord._check_expiries(camp)
+        assert list(camp.pending) == [0]
+        coord._loop = None
+
+    def test_dead_worker_expires_all_its_leases(self):
+        coord = FleetCoordinator(heartbeat_seconds=0.1)
+        coord._loop = _StubLoop()
+        coord._loop.now = 10.0
+        camp = _campaign()
+        coord._camp = camp
+        ws = _WorkerState("w1", _StubTransport())
+        ws.welcomed = True
+        ws.last_seen = 9.0  # > 3x heartbeat ago
+        coord._workers["w1"] = ws
+        for index in range(2):
+            lease = _Lease(f"camp:{index}:1", index, "w1", granted=9.0)
+            camp.leases[lease.lease_id] = lease
+            ws.held.add(lease.lease_id)
+        camp.pending.clear()
+        coord._check_expiries(camp)
+        assert "w1" not in coord._workers
+        assert coord.stats["dead_workers"] == 1
+        assert sorted(camp.pending) == [0, 1]
+        coord._camp = None
+        coord._loop = None
+
+    def test_duplicate_result_is_ignored(self):
+        coord = FleetCoordinator()
+        camp = _campaign()
+        coord._camp = camp
+        ws = _WorkerState("w1", _StubTransport())
+        entry = {"label": "x", "ok": True, "result": None}
+        coord._on_result(ws, protocol.result("camp:0:1", 0, "k", entry))
+        coord._on_result(ws, protocol.result("camp:0:2", 0, "k", entry))
+        assert coord.stats["results"] == 1
+        assert coord.stats["duplicate_results"] == 1
+        coord._camp = None
+
+    def test_retryable_failure_is_reassigned_not_finalized(self):
+        coord = FleetCoordinator(max_reassigns=3)
+        camp = _campaign()
+        camp.pending.clear()
+        coord._camp = camp
+        ws = _WorkerState("w1", _StubTransport())
+        entry = {"label": "x", "ok": False, "error_kind": ERROR_CRASH, "error": "boom"}
+        coord._on_result(ws, protocol.result("camp:0:1", 0, "k", entry))
+        assert 0 not in camp.outcomes
+        assert list(camp.pending) == [0]
+        assert camp.charges[0] == 1
+        coord._camp = None
+
+    def test_revoked_leases_return_to_pending(self):
+        coord = FleetCoordinator()
+        camp = _campaign()
+        camp.pending.clear()
+        coord._camp = camp
+        ws = _WorkerState("w1", _StubTransport())
+        lease = _Lease("camp:0:1", 0, "w1", granted=0.0)
+        camp.leases[lease.lease_id] = lease
+        ws.held.add(lease.lease_id)
+        ws.steal_inflight = True
+        coord._on_revoked(
+            ws, protocol.revoked([{"lease_id": "camp:0:1", "index": 0}])
+        )
+        assert list(camp.pending) == [0]
+        assert coord.stats["stolen"] == 1
+        assert ws.steal_inflight is False
+        coord._camp = None
+
+    def test_map_cells_requires_started_coordinator(self):
+        with pytest.raises(FleetError):
+            FleetCoordinator().map_cells(_cells(1))
+
+
+# ---------------------------------------------------------------------------
+# worker-side lease handling (no sockets)
+# ---------------------------------------------------------------------------
+
+
+class _AsyncCaptureTransport:
+    def __init__(self):
+        self.frames = []
+
+    async def send(self, frame):
+        self.frames.append(frame)
+
+
+class TestWorkerLeases:
+    def test_sanitize_worker_id(self):
+        assert sanitize_worker_id("host/a:b c") == "host_a_b_c"
+        assert sanitize_worker_id("") == "worker"
+        assert sanitize_worker_id("ok-1.2_3") == "ok-1.2_3"
+
+    def test_duplicate_assign_answers_from_done_memory(self):
+        worker = FleetWorker("127.0.0.1", 1, worker_id="w1", slots=1)
+        worker._cells = tuple(_cells(2))
+        worker._transport = transport = _AsyncCaptureTransport()
+        entry = {"label": "done", "ok": True}
+        worker._done[1] = ("key-1", entry, 7)
+
+        loop = asyncio.new_event_loop()
+        try:
+            loop.run_until_complete(
+                worker._on_assign(
+                    protocol.assign([{"lease_id": "L1", "index": 1}])
+                )
+            )
+        finally:
+            loop.close()
+        assert len(transport.frames) == 1
+        frame = transport.frames[0]
+        assert frame["type"] == protocol.RESULT
+        assert frame["index"] == 1
+        assert frame["entry"] == entry
+        assert frame["seq"] == 7
+        assert worker.cells_executed == 0  # answered from memory, no compute
+        assert "L1" not in worker._leases
+
+    def test_revoke_releases_only_queued_leases(self):
+        worker = FleetWorker("127.0.0.1", 1, worker_id="w1", slots=1)
+        worker._leases = {"L1": 0, "L2": 1, "L3": 2}
+        worker._running = {"L1"}  # running: not preemptible
+        transport = _AsyncCaptureTransport()
+
+        loop = asyncio.new_event_loop()
+        try:
+            loop.run_until_complete(
+                worker._on_revoke(transport, protocol.revoke(count=2))
+            )
+        finally:
+            loop.close()
+        frame = transport.frames[0]
+        assert frame["type"] == protocol.REVOKED
+        released = {item["lease_id"] for item in frame["leases"]}
+        assert released == {"L2", "L3"}
+        assert set(worker._leases) == {"L1"}
+
+
+# ---------------------------------------------------------------------------
+# end-to-end over real sockets
+# ---------------------------------------------------------------------------
+
+
+def _spawn_worker_thread(coord, worker_id, slots=1):
+    worker = FleetWorker(
+        "127.0.0.1",
+        coord.port,
+        worker_id=worker_id,
+        slots=slots,
+        reconnect_seconds=0.1,
+    )
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def _join_worker(worker, thread, coord=None):
+    worker.stop()
+    thread.join(10.0)
+
+
+class TestFleetEndToEnd:
+    def test_clean_campaign_completes_and_shuts_workers_down(self, tmp_path):
+        telemetry = tmp_path / "telemetry.jsonl"
+        cells = _cells(4)
+        with FleetCoordinator(
+            heartbeat_seconds=0.2, telemetry_path=telemetry
+        ) as coord:
+            worker, thread = _spawn_worker_thread(coord, "w1", slots=2)
+            outcomes, leftovers = coord.map_cells(
+                cells, wait_seconds=10.0, shutdown_workers=True
+            )
+            thread.join(10.0)  # SHUTDOWN frame stops the worker itself
+            assert not thread.is_alive()
+        assert leftovers == []
+        assert sorted(outcomes) == [0, 1, 2, 3]
+        assert all(entry["ok"] for entry in outcomes.values())
+        assert all(
+            entry["worker"] == "w1" for entry in outcomes.values()
+        )
+        events = [
+            json.loads(line) for line in telemetry.read_text().splitlines()
+        ]
+        kinds = {event["event"] for event in events}
+        assert {"campaign-start", "lease-granted", "result", "campaign-end"} <= kinds
+
+    def test_campaign_under_frame_chaos_is_lossless(self):
+        cells = _cells(6)
+        plan = chaos_plan(
+            4242,
+            ["wa", "wb"],
+            drop_rate=0.15,
+            delay_rate=0.1,
+            delay_ms=10,
+            dup_rate=0.15,
+            partition_rate=0.05,
+            partition_frames=4,
+            max_partitions=1,
+        )
+        with FleetCoordinator(
+            heartbeat_seconds=0.2, lease_seconds=15.0, fault_plan=plan
+        ) as coord:
+            wa, ta = _spawn_worker_thread(coord, "wa", slots=2)
+            wb, tb = _spawn_worker_thread(coord, "wb", slots=2)
+            try:
+                outcomes, leftovers = coord.map_cells(cells, wait_seconds=10.0)
+            finally:
+                _join_worker(wa, ta)
+                _join_worker(wb, tb)
+        assert leftovers == []
+        assert sorted(outcomes) == list(range(6))
+        assert all(entry["ok"] for entry in outcomes.values())
+        stats = coord.stats_snapshot()
+        # The seeded plan must actually have injected something.
+        injected = (
+            stats.get("frames_dropped", 0)
+            + stats.get("frames_duplicated", 0)
+            + stats.get("frames_delayed", 0)
+            + stats.get("frames_partitioned", 0)
+        )
+        assert injected > 0, stats
+
+    def test_sigkilled_worker_is_reassigned(self, tmp_path):
+        cells = _cells(4)
+        with FleetCoordinator(
+            heartbeat_seconds=0.2, lease_seconds=10.0, wait_seconds=15.0
+        ) as coord:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(p) for p in sys.path if p]
+            )
+            doomed = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    "import time\n"
+                    "from repro.fleet import FleetWorker\n"
+                    "import repro.fleet.worker as fw\n"
+                    "original = fw.traced_call\n"
+                    "def slow(fn, task):\n"
+                    "    time.sleep(30)\n"  # never finishes: must be killed
+                    "    return original(fn, task)\n"
+                    f"FleetWorker('127.0.0.1', {coord.port}, "
+                    "worker_id='doomed', slots=1).run()",
+                ],
+                env=env,
+            )
+            results = {}
+            done = threading.Event()
+
+            def run_campaign():
+                results["value"] = coord.map_cells(cells, wait_seconds=15.0)
+                done.set()
+
+            campaign = threading.Thread(target=run_campaign, daemon=True)
+            campaign.start()
+            # Let the doomed worker connect and take leases, then kill it.
+            deadline = time.time() + 10.0
+            while coord.stats["assigned"] == 0 and time.time() < deadline:
+                time.sleep(0.05)
+            assert coord.stats["assigned"] > 0, "doomed worker never got leases"
+            doomed.send_signal(signal.SIGKILL)
+            doomed.wait(10.0)
+            # A healthy worker joins and finishes everything.
+            rescue, rescue_thread = _spawn_worker_thread(coord, "rescue", slots=2)
+            try:
+                assert done.wait(60.0), "campaign did not terminate"
+            finally:
+                _join_worker(rescue, rescue_thread)
+            campaign.join(5.0)
+        outcomes, leftovers = results["value"]
+        assert leftovers == []
+        assert sorted(outcomes) == [0, 1, 2, 3]
+        assert all(entry["ok"] for entry in outcomes.values())
+        assert all(entry["worker"] == "rescue" for entry in outcomes.values())
+        assert coord.stats["dead_workers"] >= 1
+        assert coord.stats["expired_leases"] >= 1
+        assert coord.stats["reassigned"] >= 1
+
+    def test_zero_workers_degrades_to_leftovers(self):
+        cells = _cells(2)
+        with FleetCoordinator(heartbeat_seconds=0.1) as coord:
+            outcomes, leftovers = coord.map_cells(
+                cells, wait_seconds=0.3, min_workers=1
+            )
+        assert outcomes == {}
+        assert leftovers == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# run_sweep integration
+# ---------------------------------------------------------------------------
+
+
+class TestRunSweepFleet:
+    def test_fleet_sweep_resumes_and_matches_serial(self, tmp_path):
+        cells = _cells(3)
+        with FleetCoordinator(heartbeat_seconds=0.2) as coord:
+            worker, thread = _spawn_worker_thread(coord, "w1", slots=2)
+            try:
+                journal = RunJournal.create("fleet-sweep-test")
+                try:
+                    report = sweep.run_sweep(
+                        cells, workers=2, journal=journal, fleet=coord
+                    )
+                finally:
+                    journal.close()
+            finally:
+                _join_worker(worker, thread)
+        assert report.ok
+        assert report.mode == "fleet"
+        assert report.fleet is not None
+        assert report.fleet["results"] == 3
+        assert "fleet:" in report.render()
+
+        # Resume: every cell rehydrates (shards merged + journal replay).
+        journal = RunJournal.open("fleet-sweep-test")
+        try:
+            resumed = sweep.run_sweep(cells, workers=1, journal=journal)
+        finally:
+            journal.close()
+        assert resumed.resumed_cells == 3
+        assert all(out.resumed for out in resumed.outcomes)
+
+        # Bit-identity against serial execution.
+        _, mismatches = sweep.verify_identical(cells, report)
+        assert mismatches == []
+
+    def test_workerless_fleet_falls_back_to_local_pool(self):
+        cells = _cells(2)
+        with FleetCoordinator(heartbeat_seconds=0.1, wait_seconds=0.2) as coord:
+            report = sweep.run_sweep(cells, workers=1, fleet=coord)
+        assert report.ok
+        assert report.mode != "fleet"  # local pool finished the leftovers
+        assert len(report.outcomes) == 2

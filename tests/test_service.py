@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 
 import pytest
 
@@ -31,6 +32,7 @@ from repro.service.jobs import (
     JobSpec,
     JobStore,
 )
+from repro.service.retention import sweep_retention
 from repro.service.wire import (
     HttpRequest,
     JsonlStream,
@@ -367,3 +369,104 @@ class TestAdmission:
             ctrl.admit("a", tenant_queued=0, total_queued=0, draining=True)
         assert exc.value.code == REJECT_DRAINING
         assert exc.value.status == 503
+
+
+# ---------------------------------------------------------------------------
+# retention
+# ---------------------------------------------------------------------------
+
+
+class TestRetention:
+    """GC of job run journals + fleet shards (``sweep_retention``)."""
+
+    WINDOW = 3600.0
+    NOW = 1_000_000.0
+
+    def _terminal_job(self, jid, finished, **spec_over):
+        job = Job(id=jid, tenant="t", spec=spec(**spec_over))
+        job.transition(STATE_QUEUED)
+        job.transition(STATE_RUNNING)
+        job.transition(STATE_DONE)
+        job.finished = finished
+        return job
+
+    def _materialize(self, jdir, run_id, shards=("w1",)):
+        from repro.journal import JournalShard, RunJournal
+
+        RunJournal.create(run_id, jdir).close()
+        for worker in shards:
+            with JournalShard.open(run_id, worker, jdir) as shard:
+                shard.record("cell", {"ok": True})
+
+    def test_expired_terminal_job_loses_journal_lock_and_shards(self, tmp_path):
+        old = self._terminal_job("j1", self.NOW - 2 * self.WINDOW)
+        self._materialize(tmp_path, old.run_id, shards=("w1", "w2"))
+        assert (tmp_path / f"{old.run_id}.jsonl.lock").exists()
+
+        counters = sweep_retention(
+            [old], self.WINDOW, directory=tmp_path, now=self.NOW
+        )
+        assert counters["journals_deleted"] == 1
+        assert counters["shards_deleted"] == 2
+        assert counters["bytes_reclaimed"] > 0
+        assert list(tmp_path.iterdir()) == []  # lock sidecar went too
+
+    def test_young_terminal_and_live_jobs_are_protected(self, tmp_path):
+        young = self._terminal_job("j1", self.NOW - 60.0)
+        live = Job(id="j2", tenant="t", spec=spec(params={"seed": 2}))
+        live.transition(STATE_QUEUED)
+        self._materialize(tmp_path, young.run_id)
+        self._materialize(tmp_path, live.run_id)
+
+        counters = sweep_retention(
+            [young, live], self.WINDOW, directory=tmp_path, now=self.NOW
+        )
+        assert counters["journals_deleted"] == 0
+        assert counters["shards_deleted"] == 0
+        assert (tmp_path / f"{young.run_id}.jsonl").exists()
+        assert (tmp_path / f"{live.run_id}.jsonl").exists()
+
+    def test_live_resubmission_shields_expired_twin(self, tmp_path):
+        """An idempotent resubmission mid-flight shares the run id of an
+        expired terminal job — the journal must survive for the resume."""
+        expired = self._terminal_job("j1", self.NOW - 2 * self.WINDOW)
+        twin = Job(id="j2", tenant="t", spec=spec())  # same content → same run id
+        twin.transition(STATE_QUEUED)
+        assert twin.run_id == expired.run_id
+        self._materialize(tmp_path, expired.run_id)
+
+        counters = sweep_retention(
+            [expired, twin], self.WINDOW, directory=tmp_path, now=self.NOW
+        )
+        assert counters["journals_deleted"] == 0
+        assert (tmp_path / f"{expired.run_id}.jsonl").exists()
+
+    def test_orphan_shard_deleted_only_once_old(self, tmp_path):
+        from repro.journal import JournalShard
+
+        tmp_path.mkdir(exist_ok=True)
+        with JournalShard.open("job-gone", "w1", tmp_path) as shard:
+            shard.record("cell", {"ok": True})
+        fresh = tmp_path / "job-gone.shard-w1.jsonl"
+        # Fresh orphan (a worker mid-restart may still append): kept.
+        os.utime(fresh, (self.NOW - 10, self.NOW - 10))
+        counters = sweep_retention([], self.WINDOW, directory=tmp_path, now=self.NOW)
+        assert counters["orphan_shards_deleted"] == 0
+        assert fresh.exists()
+        # Past the window it is garbage.
+        os.utime(fresh, (self.NOW - 2 * self.WINDOW,) * 2)
+        counters = sweep_retention([], self.WINDOW, directory=tmp_path, now=self.NOW)
+        assert counters["orphan_shards_deleted"] == 1
+        assert not fresh.exists()
+
+    def test_pass_is_idempotent(self, tmp_path):
+        old = self._terminal_job("j1", self.NOW - 2 * self.WINDOW)
+        self._materialize(tmp_path, old.run_id)
+        sweep_retention([old], self.WINDOW, directory=tmp_path, now=self.NOW)
+        again = sweep_retention([old], self.WINDOW, directory=tmp_path, now=self.NOW)
+        assert again == {
+            "journals_deleted": 0,
+            "shards_deleted": 0,
+            "orphan_shards_deleted": 0,
+            "bytes_reclaimed": 0,
+        }

@@ -165,6 +165,43 @@ def test_submit_runs_to_done_with_result_and_metrics():
             assert "supervisor" in alice["terminal"]
             assert set(metrics["warm_workers"]) >= {"hits", "misses", "size"}
             assert metrics["jobs"] == {"done": 1}
+            assert metrics["retention"] == {}  # retention disabled
+            assert metrics["fleet"] is None  # no fleet listener
+        finally:
+            await svc.stop()
+
+    asyncio.run(go())
+
+
+def test_retention_pass_reclaims_expired_job_journal_and_counts():
+    async def go():
+        svc = await start_service(retention_hours=1.0)
+        try:
+            status, out = await http(svc.port, "POST", "/v1/jobs", sweep_body())
+            assert status == 201, out
+            job = await wait_terminal(svc.port, out["job"]["id"])
+            assert job["state"] == "done"
+
+            from repro.journal import journal_dir
+
+            journal = journal_dir() / f"{job['run_id']}.jsonl"
+            assert journal.exists()
+
+            # A pass inside the window protects the fresh journal; a
+            # pass "an age later" reclaims it.
+            assert svc.run_retention_pass()["journals_deleted"] == 0
+            assert journal.exists()
+            late = svc.run_retention_pass(now=time.time() + 7200.0)
+            assert late["journals_deleted"] == 1
+            assert not journal.exists()
+
+            status, metrics = await http(svc.port, "GET", "/metrics")
+            assert status == 200
+            # >= 2: the background retention loop may have run its own
+            # startup pass on top of the two explicit ones.
+            assert metrics["retention"]["passes"] >= 2
+            assert metrics["retention"]["journals_deleted"] == 1
+            assert metrics["retention"]["bytes_reclaimed"] > 0
         finally:
             await svc.stop()
 

@@ -100,6 +100,31 @@ class TestPolicy:
         assert policy.backoff(4) == pytest.approx(0.5)  # capped
         assert policy.backoff(10) == pytest.approx(0.5)
 
+    def test_jitter_is_deterministic_per_key(self):
+        policy = SupervisorPolicy(backoff_base=0.1, jitter=0.25, jitter_seed=7)
+        first = policy.backoff(2, jitter_key="3:2")
+        # Same (seed, key) → same delay, every time: a resumed run
+        # replays the exact schedule the original run would have used.
+        assert policy.backoff(2, jitter_key="3:2") == first
+        # Different keys decorrelate (no thundering herd)...
+        assert policy.backoff(2, jitter_key="4:2") != first
+        # ...and different seeds decorrelate different runs.
+        other = SupervisorPolicy(backoff_base=0.1, jitter=0.25, jitter_seed=8)
+        assert other.backoff(2, jitter_key="3:2") != first
+
+    def test_jitter_stays_within_amplitude(self):
+        policy = SupervisorPolicy(backoff_base=0.1, backoff_max=10.0, jitter=0.25)
+        base = 0.2  # attempts=2, under the cap
+        for key in (f"{i}:{a}" for i in range(20) for a in (1, 2, 3)):
+            delay = policy.backoff(2, jitter_key=key)
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_jitter_disabled_by_zero_or_empty_key(self):
+        exact = SupervisorPolicy(backoff_base=0.1, jitter=0.0)
+        assert exact.backoff(2, jitter_key="0:2") == pytest.approx(0.2)
+        keyless = SupervisorPolicy(backoff_base=0.1, jitter=0.25)
+        assert keyless.backoff(2) == pytest.approx(0.2)
+
     def test_stats_merge_and_any_recovery(self):
         a = SupervisorStats(retries=1, pool_rebuilds=2)
         b = SupervisorStats(poison_cells=3, resumed_cells=4)
@@ -238,6 +263,31 @@ class TestParallelSupervision:
         assert stats.pool_rebuilds >= 1
         crashed = outcomes[1]
         assert crashed.attempts >= 2  # the kill charged a real attempt
+
+    def test_pool_factory_builds_initial_and_rebuilt_pools(self, tmp_path):
+        """``pool_factory`` is consulted for every pool, including the
+        ones rebuilt after a crash — fleet workers rely on this to keep
+        their local pool bounded across rebuilds."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        calls = []
+
+        def factory(**kwargs):
+            calls.append(kwargs)
+            return ProcessPoolExecutor(**kwargs)
+
+        sentinel = str(tmp_path / "factory.sentinel")
+        outcomes, mode = supervised_map(
+            _faulty_task,
+            [("ok", 1), ("die", sentinel), ("ok", 2)],
+            workers=2,
+            policy=SupervisorPolicy(retries=2, backoff_base=0.001),
+            pool_factory=factory,
+        )
+        assert mode == "parallel"
+        assert [out.ok for out in outcomes] == [True] * 3
+        assert len(calls) >= 2  # initial pool + at least one rebuild
+        assert all(kw["max_workers"] == 2 for kw in calls)
 
     def test_crash_blast_radius_with_retries_disabled(self):
         """Satellite (a): even single-shot, a dead worker fails only the
