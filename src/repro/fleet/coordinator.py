@@ -382,6 +382,14 @@ class FleetCoordinator:
                     )
                     ws.report_time = ws.last_seen
                     ws.reported_running = int(frame.get("running", 0))
+                    camp = self._camp
+                    if camp is not None and frame.get("campaign_id") != camp.id:
+                        # The worker is alive but has not installed the
+                        # active campaign — our WELCOME was lost on the
+                        # wire. Re-send it (once per heartbeat at most)
+                        # or the worker would absorb leases forever
+                        # without ever executing a cell.
+                        await self._send_welcome(ws, camp)
                 elif ftype == protocol.RESULT:
                     self._on_result(ws, frame)
                 elif ftype == protocol.REVOKED:
@@ -573,10 +581,17 @@ class FleetCoordinator:
         """
         if self._loop is None:
             raise FleetError("coordinator is not started")
+        # The campaign id is unique per call — never the bare run id. A
+        # resumed run reuses its run id with a re-indexed pending list,
+        # and workers key index-addressed memory on the campaign id, so
+        # sharing an id across calls would replay the wrong cells.
         future = asyncio.run_coroutine_threadsafe(
             self._campaign(
                 _Campaign(
-                    campaign_id=run_id or f"campaign-{os.getpid()}-{time.time_ns()}",
+                    campaign_id=(
+                        f"{run_id or 'campaign'}"
+                        f"@{os.getpid()}.{time.time_ns()}"
+                    ),
                     cells=cells,
                     use_disk=use_disk,
                     fresh=fresh,
@@ -626,11 +641,12 @@ class FleetCoordinator:
             try:
                 aborted = lambda: should_abort is not None and should_abort()
                 deadline = self._now() + wait_seconds
-                while (
-                    len(self._workers) < min_workers
-                    and self._now() < deadline
-                    and not aborted()
-                ):
+                while self._now() < deadline and not aborted():
+                    # Reap half-open connections first so a dead peer
+                    # never satisfies min_workers.
+                    self._reap_dead_workers()
+                    if len(self._workers) >= min_workers:
+                        break
                     await self._sleep_or_wake(0.05)
                 for ws in list(self._workers.values()):
                     await self._send_welcome(ws, camp)
@@ -670,14 +686,33 @@ class FleetCoordinator:
         ]
         return camp.outcomes, leftovers
 
-    def _check_expiries(self, camp: _Campaign) -> None:
+    def _reap_dead_workers(self) -> None:
+        """Drop workers that stopped heartbeating — welcomed or not.
+
+        Workers heartbeat from the moment they connect (pre-WELCOME at
+        :data:`repro.fleet.protocol.DEFAULT_HEARTBEAT_SECONDS`), so an
+        un-welcomed entry whose ``last_seen`` is older than the connect
+        grace is a half-open connection, not a live idle worker — left
+        alone it would count toward ``min_workers`` forever.
+        """
         now = self._now()
         dead_after = 3.0 * self.heartbeat_seconds
-        reconcile_after = 2.0 * self.heartbeat_seconds
+        connect_grace = max(
+            dead_after, 3.0 * protocol.DEFAULT_HEARTBEAT_SECONDS
+        )
         for ws in list(self._workers.values()):
-            if ws.welcomed and now - ws.last_seen > dead_after:
+            idle = now - ws.last_seen
+            if ws.welcomed and idle > dead_after:
                 ws.transport.close()
                 self._worker_lost(ws, "missed heartbeats")
+            elif not ws.welcomed and idle > connect_grace:
+                ws.transport.close()
+                self._worker_lost(ws, "silent since connect")
+
+    def _check_expiries(self, camp: _Campaign) -> None:
+        self._reap_dead_workers()
+        now = self._now()
+        reconcile_after = 2.0 * self.heartbeat_seconds
         for lease in list(camp.leases.values()):
             ws = self._workers.get(lease.worker_id)
             if ws is None:

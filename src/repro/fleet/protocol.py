@@ -25,9 +25,14 @@ Failure taxonomy (who notices what):
   ``held`` set: expired and reassigned (the worker ignores nothing — it
   simply never knew);
 * dropped RESULT — the worker no longer reports the lease as held, so
-  the coordinator reassigns; the worker remembers finished indexes and
-  answers a duplicate ASSIGN by re-sending the stored RESULT instead
-  of recomputing;
+  the coordinator reassigns; the worker remembers *successfully*
+  finished indexes and answers a duplicate ASSIGN by re-sending the
+  stored RESULT instead of recomputing (failed indexes are retried
+  for real — a duplicate ASSIGN for one re-executes the cell);
+* half-open connection — workers heartbeat from the moment the
+  session opens (pre-WELCOME, at :data:`DEFAULT_HEARTBEAT_SECONDS`),
+  so a peer that connected but went silent is reaped after a connect
+  grace instead of counting toward ``min_workers`` forever;
 * dropped REVOKED — the released leases linger in the coordinator's
   table until heartbeat reconciliation expires them;
 * duplicated anything — lease and index dedup on both ends makes a
@@ -42,6 +47,7 @@ from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "ASSIGN",
+    "DEFAULT_HEARTBEAT_SECONDS",
     "HEARTBEAT",
     "HELLO",
     "PROTOCOL_VERSION",
@@ -61,6 +67,11 @@ __all__ = [
 ]
 
 PROTOCOL_VERSION = 1
+
+#: Heartbeat cadence a worker uses before its first WELCOME tells it
+#: the campaign cadence; the coordinator's connect-grace reaping of
+#: un-welcomed workers is sized against this.
+DEFAULT_HEARTBEAT_SECONDS = 1.0
 
 HELLO = "hello"
 WELCOME = "welcome"
@@ -92,6 +103,13 @@ def welcome(
 ) -> Dict[str, object]:
     """The whole campaign context, shipped once per (re)connection.
 
+    ``campaign_id`` must be unique per ``map_cells`` call (the
+    coordinator appends a nonce to the run id): a worker keys its
+    index-addressed memory on it, and a resumed run re-indexes the
+    pending cells, so two campaigns must never share an id. Workers
+    additionally fingerprint the cell list and reinstall on any
+    mismatch.
+
     Cells travel as :meth:`repro.sweep.Cell.to_dict` payloads — the
     worker rebuilds the grid and pickles it once into its local pool
     initializer, exactly like the single-host sweep. ``journal_dir``
@@ -116,19 +134,28 @@ def assign(leases: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def heartbeat(
-    worker_id: str, held: Sequence[str], running: int
+    worker_id: str,
+    held: Sequence[str],
+    running: int,
+    campaign_id: Optional[str] = None,
 ) -> Dict[str, object]:
     """Liveness plus the worker's view of its leases.
 
     ``held`` is every lease the worker still considers its own
     (queued or running); the coordinator reconciles it against the
     lease table to detect frames lost in either direction.
+    ``campaign_id`` is the campaign the worker has *installed* (None
+    before any WELCOME arrived) — a mismatch against the active
+    campaign tells the coordinator its WELCOME was lost and must be
+    re-sent, since a heartbeating-but-uninstalled worker would
+    otherwise absorb leases forever without executing anything.
     """
     return {
         "type": HEARTBEAT,
         "worker_id": worker_id,
         "held": list(held),
         "running": int(running),
+        "campaign_id": campaign_id,
     }
 
 

@@ -13,12 +13,16 @@ Robustness posture:
 * every completed cell is appended to the worker's private journal
   shard *before* the RESULT frame is sent — a dead coordinator (or a
   dropped frame) loses nothing, the shard merge recovers it;
-* finished indexes are remembered; a duplicate ASSIGN (the
-  coordinator reassigning after a lost RESULT) is answered by
-  re-sending the stored entry, never by recomputing;
+* *successfully* finished indexes are remembered; a duplicate ASSIGN
+  (the coordinator reassigning after a lost RESULT) is answered by
+  re-sending the stored entry, never by recomputing. Failures are
+  deliberately not memoized — a fresh lease for a failed index is a
+  retry and re-executes the cell;
 * the connection is disposable: on any error the worker reconnects
   with a fresh HELLO and the coordinator re-WELCOMEs it (same
-  campaign id → pool, shard, and finished-index memory are kept);
+  campaign id *and* cell list → pool, shard, and finished-index
+  memory are kept; anything else reinstalls from scratch, so a stale
+  campaign can never replay the wrong cell for an index);
 * a died pool process (the cell SIGKILLed the worker, OOM, ...) is
   contained: the pool is rebuilt and the cell reported as a crash —
   the coordinator decides whether to retry it elsewhere.
@@ -27,6 +31,8 @@ Robustness posture:
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 import os
 import pickle
 import re
@@ -76,8 +82,9 @@ class FleetWorker:
         self._transport: Optional[FrameTransport] = None
         # campaign state (survives reconnects within one campaign)
         self._campaign_id: Optional[str] = None
+        self._campaign_digest: Optional[str] = None
         self._cells: Tuple[Cell, ...] = ()
-        self._heartbeat_seconds = 1.0
+        self._heartbeat_seconds = protocol.DEFAULT_HEARTBEAT_SECONDS
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_args: Tuple = ()
         self._shard: Optional[JournalShard] = None
@@ -85,6 +92,7 @@ class FleetWorker:
         self._running: Set[str] = set()
         self._done: Dict[int, Tuple[str, dict, Optional[int]]] = {}
         self._sem: Optional[asyncio.Semaphore] = None
+        self._hb_wake: Optional[asyncio.Event] = None
         self.cells_executed = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -137,7 +145,12 @@ class FleetWorker:
     # -- one connection ----------------------------------------------------
 
     async def _session(self, transport: FrameTransport) -> None:
-        heartbeat_task: Optional[asyncio.Task] = None
+        # Heartbeat from the first moment of the session — not gated on
+        # a WELCOME — so the coordinator can distinguish a live idle
+        # worker (between campaigns) from a half-open connection and
+        # reap the latter.
+        self._hb_wake = asyncio.Event()
+        heartbeat_task = asyncio.ensure_future(self._heartbeat_loop(transport))
         try:
             while True:
                 frame = await transport.recv()
@@ -146,10 +159,6 @@ class FleetWorker:
                 ftype = frame.get("type")
                 if ftype == protocol.WELCOME:
                     await self._install(frame)
-                    if heartbeat_task is None:
-                        heartbeat_task = asyncio.ensure_future(
-                            self._heartbeat_loop(transport)
-                        )
                 elif ftype == protocol.ASSIGN:
                     await self._on_assign(frame)
                 elif ftype == protocol.REVOKE:
@@ -159,32 +168,73 @@ class FleetWorker:
                     self._stop = True
                     return
         finally:
-            if heartbeat_task is not None:
-                heartbeat_task.cancel()
+            heartbeat_task.cancel()
 
     async def _heartbeat_loop(self, transport: FrameTransport) -> None:
+        # Send-first, then wait: the coordinator must hear from us well
+        # inside its 3×heartbeat death deadline even in the very first
+        # interval. The wait is interruptible (`_hb_wake`) so a WELCOME
+        # that installs a faster campaign cadence — or a campaign id we
+        # need to acknowledge — takes effect immediately instead of
+        # after one stale (possibly 1 s default) sleep.
         try:
             while True:
-                await asyncio.sleep(self._heartbeat_seconds)
                 await transport.send(
                     protocol.heartbeat(
                         self.worker_id,
                         held=list(self._leases),
                         running=len(self._running),
+                        campaign_id=self._campaign_id,
                     )
                 )
+                assert self._hb_wake is not None
+                try:
+                    await asyncio.wait_for(
+                        self._hb_wake.wait(), self._heartbeat_seconds
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                self._hb_wake.clear()
         except (asyncio.CancelledError, WireError, ConnectionError, OSError):
             return
 
     # -- campaign install --------------------------------------------------
 
+    @staticmethod
+    def _campaign_fingerprint(frame: dict) -> str:
+        """Content hash of everything that defines cell-index meaning."""
+        payload = json.dumps(
+            [
+                frame.get("cells", []),
+                frame.get("use_disk", True),
+                frame.get("fresh", False),
+                frame.get("run_id"),
+                frame.get("journal_dir"),
+            ],
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     async def _install(self, frame: dict) -> None:
         campaign_id = frame.get("campaign_id")
-        self._heartbeat_seconds = float(frame.get("heartbeat_seconds", 1.0))
-        if campaign_id == self._campaign_id:
+        digest = self._campaign_fingerprint(frame)
+        self._heartbeat_seconds = float(
+            frame.get("heartbeat_seconds", protocol.DEFAULT_HEARTBEAT_SECONDS)
+        )
+        if self._hb_wake is not None:
+            # Re-announce on the new cadence right away; the coordinator
+            # is waiting to see this campaign id in a heartbeat.
+            self._hb_wake.set()
+        if campaign_id == self._campaign_id and digest == self._campaign_digest:
             return  # re-WELCOME after a reconnect: keep pool/shard/memory
+        # A matching id with a *different* cell list (a resumed run
+        # reusing its id with a re-indexed pending set) must never reuse
+        # index-keyed memory — lease indexes would point at the wrong
+        # cells and the coordinator would journal wrong-cell entries.
         self._teardown_campaign()
         self._campaign_id = campaign_id
+        self._campaign_digest = digest
         self._cells = tuple(Cell.from_dict(d) for d in frame.get("cells", []))
         use_disk = bool(frame.get("use_disk", True))
         fresh = bool(frame.get("fresh", False))
@@ -257,6 +307,29 @@ class FleetWorker:
             released.append({"lease_id": lease_id, "index": index})
         await transport.send(protocol.revoked(released))
 
+    async def _compute(self, index: int):
+        """Run one cell in the pool; ``None`` means the pool is gone."""
+        loop = asyncio.get_event_loop()
+        try:
+            return await loop.run_in_executor(
+                self._pool, traced_call, _run_cell, index
+            )
+        except BrokenProcessPool:
+            # The cell killed its process (or OOM did): contain it,
+            # rebuild, and let the coordinator decide whether to retry
+            # the cell on another worker.
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = self._new_pool()
+            return (
+                None,
+                "BrokenProcessPool: pool process died mid-cell",
+                0.0,
+                ERROR_CRASH,
+            )
+        except RuntimeError:
+            return None  # pool torn down under us (shutdown race)
+
     async def _execute(self, lease_id: str, index: int) -> None:
         assert self._sem is not None
         async with self._sem:
@@ -264,29 +337,13 @@ class FleetWorker:
                 return  # revoked while queued
             self._running.add(lease_id)
             try:
-                loop = asyncio.get_event_loop()
-                try:
-                    value, error, wall, kind = await loop.run_in_executor(
-                        self._pool, traced_call, _run_cell, index
-                    )
-                except BrokenProcessPool:
-                    # The cell killed its process (or OOM did): contain
-                    # it, rebuild, and let the coordinator decide whether
-                    # to retry the cell on another worker.
-                    if self._pool is not None:
-                        self._pool.shutdown(wait=False, cancel_futures=True)
-                    self._pool = self._new_pool()
-                    value, error, wall, kind = (
-                        None,
-                        "BrokenProcessPool: pool process died mid-cell",
-                        0.0,
-                        ERROR_CRASH,
-                    )
-                except RuntimeError:
-                    return  # pool torn down under us (shutdown race)
+                outcome = await self._compute(index)
             finally:
                 self._running.discard(lease_id)
                 self._leases.pop(lease_id, None)
+        if outcome is None:
+            return
+        value, error, wall, kind = outcome
         cell = self._cells[index]
         result_payload = None
         cache_hit = False
@@ -312,7 +369,11 @@ class FleetWorker:
             # cell survives any combination of lost frames and dead
             # coordinators.
             seq = self._shard.record(key, entry)
-        self._done[index] = (key, entry, seq)
+        if entry["ok"]:
+            # Only successes are answered from memory on a duplicate
+            # ASSIGN; a reassigned *failed* index is the coordinator
+            # retrying and must actually re-execute here.
+            self._done[index] = (key, entry, seq)
         self.cells_executed += 1
         await self._send_result(lease_id, index, key, entry, seq)
 

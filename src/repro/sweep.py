@@ -634,7 +634,10 @@ def run_sweep(
     pending cells out to remote workers first; whatever the fleet could
     not place — no workers connected, a mid-campaign abort — runs on
     the local supervised pool, so a workerless fleet degrades to
-    exactly the single-host behavior. Fleet results are journaled as
+    exactly the single-host behavior. Trace-recording (non-cacheable)
+    cells always stay on the local pool: their payloads are not
+    serialized over the wire, and shipping them would silently drop
+    the trace from the report. Fleet results are journaled as
     they arrive, and any journal shards left by workers of a previous
     (killed) coordinator are merged before the resume scan, which is
     what makes coordinator SIGKILL + restart a zero-re-execution event.
@@ -706,8 +709,16 @@ def run_sweep(
 
     mode = "serial"
     fleet_stats: Optional[Dict[str, int]] = None
-    if fleet is not None and pending:
-        fleet_cells = [cells[i] for i in pending]
+    # Trace-recording (non-cacheable) cells never ride the fleet: their
+    # result payload is deliberately not serialized over the wire (or
+    # into journals), so a remote execution would come back as a silent
+    # ``result=None``. They always run on the local pool instead.
+    fleet_pending = (
+        [i for i in pending if cells[i].cacheable] if fleet is not None else []
+    )
+    if fleet is not None and fleet_pending:
+        local_only = [i for i in pending if not cells[i].cacheable]
+        fleet_cells = [cells[i] for i in fleet_pending]
         done_lock = threading.Lock()
         done_boxed = [total - len(pending)]
 
@@ -736,7 +747,7 @@ def run_sweep(
             should_abort=should_abort,
         )
         for local_index, entry in placed.items():
-            i = pending[local_index]
+            i = fleet_pending[local_index]
             cell = cells[i]
             result = None
             if entry.get("result") is not None:
@@ -755,8 +766,9 @@ def run_sweep(
         if placed:
             mode = "fleet"
         fleet_stats = fleet.stats_snapshot()
-        # Whatever the fleet could not place degrades to the local pool.
-        pending = [pending[j] for j in leftovers]
+        # Whatever the fleet could not place degrades to the local
+        # pool, alongside the trace cells that never left.
+        pending = sorted(local_only + [fleet_pending[j] for j in leftovers])
     if pending:
         # Tasks are bare indexes; the cells themselves are pickled once
         # into the worker initializer (and installed around the serial

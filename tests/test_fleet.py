@@ -33,7 +33,7 @@ from repro.fleet.worker import sanitize_worker_id
 from repro.journal import RunJournal
 from repro.service.wire import WireError, encode_frame, read_frame
 from repro.sim.config import GPUThreading, SafetyMode
-from repro.supervisor import ERROR_CRASH
+from repro.supervisor import ERROR_CRASH, ERROR_TRANSIENT
 
 SCALE = 0.05
 
@@ -414,6 +414,22 @@ class TestLeaseBookkeeping:
         with pytest.raises(FleetError):
             FleetCoordinator().map_cells(_cells(1))
 
+    def test_half_open_unwelcomed_worker_is_reaped(self):
+        coord = FleetCoordinator(heartbeat_seconds=0.5)
+        coord._loop = _StubLoop()
+        coord._loop.now = 100.0
+        stale = _WorkerState("stale", _StubTransport())
+        stale.last_seen = 90.0  # silent well past the connect grace
+        fresh = _WorkerState("fresh", _StubTransport())
+        fresh.last_seen = 99.5  # heartbeating pre-WELCOME: stays
+        coord._workers = {"stale": stale, "fresh": fresh}
+        coord._reap_dead_workers()
+        assert "stale" not in coord._workers
+        assert stale.transport.closed
+        assert "fresh" in coord._workers
+        assert coord.stats["dead_workers"] == 1
+        coord._loop = None
+
 
 # ---------------------------------------------------------------------------
 # worker-side lease handling (no sockets)
@@ -458,6 +474,107 @@ class TestWorkerLeases:
         assert frame["seq"] == 7
         assert worker.cells_executed == 0  # answered from memory, no compute
         assert "L1" not in worker._leases
+
+    def _drive(self, worker, frame):
+        """Run one ASSIGN through the worker, draining spawned tasks."""
+
+        async def scenario():
+            await worker._on_assign(frame)
+            tasks = [
+                t
+                for t in asyncio.all_tasks()
+                if t is not asyncio.current_task()
+            ]
+            if tasks:
+                await asyncio.gather(*tasks)
+
+        loop = asyncio.new_event_loop()
+        try:
+            loop.run_until_complete(scenario())
+        finally:
+            loop.close()
+
+    def test_failed_cell_is_not_memoized_and_reexecutes(self):
+        worker = FleetWorker("127.0.0.1", 1, worker_id="w1", slots=1)
+        worker._cells = tuple(_cells(1))
+        worker._sem = asyncio.Semaphore(1)
+        worker._transport = transport = _AsyncCaptureTransport()
+        calls = []
+
+        async def fake_compute(index):
+            calls.append(index)
+            return (None, "transient boom", 0.01, ERROR_TRANSIENT)
+
+        worker._compute = fake_compute
+        self._drive(
+            worker, protocol.assign([{"lease_id": "L1", "index": 0}])
+        )
+        assert calls == [0]
+        assert worker._done == {}  # failures are never answered from memory
+        assert transport.frames[-1]["entry"]["ok"] is False
+        # A fresh lease for the failed index is the coordinator's retry:
+        # it must re-execute, not replay the stored failure.
+        self._drive(
+            worker, protocol.assign([{"lease_id": "L2", "index": 0}])
+        )
+        assert calls == [0, 0]
+        assert len(transport.frames) == 2
+
+    def test_successful_cell_is_memoized_for_duplicate_assigns(self):
+        worker = FleetWorker("127.0.0.1", 1, worker_id="w1", slots=1)
+        traced = sweep.Cell(
+            workload="bfs",
+            safety=SafetyMode.ATS_ONLY,
+            threading=GPUThreading.MODERATELY,
+            ops_scale=SCALE,
+            seed=1,
+            record_border=True,  # non-cacheable: no payload serialization
+        )
+        worker._cells = (traced,)
+        worker._sem = asyncio.Semaphore(1)
+        worker._transport = transport = _AsyncCaptureTransport()
+        calls = []
+
+        async def fake_compute(index):
+            calls.append(index)
+            return ((object(), False), None, 0.01, None)
+
+        worker._compute = fake_compute
+        self._drive(
+            worker, protocol.assign([{"lease_id": "L1", "index": 0}])
+        )
+        assert calls == [0]
+        assert 0 in worker._done
+        self._drive(
+            worker, protocol.assign([{"lease_id": "L2", "index": 0}])
+        )
+        assert calls == [0]  # answered from memory, no recompute
+        assert len(transport.frames) == 2
+
+    def test_install_reinstalls_when_cells_change_under_same_id(self):
+        worker = FleetWorker("127.0.0.1", 1, worker_id="w1", slots=1)
+        first = protocol.welcome(
+            "camp", [c.to_dict() for c in _cells(2)], True, False, 0.5
+        )
+        second = protocol.welcome(
+            "camp", [c.to_dict() for c in _cells(3)], True, False, 0.5
+        )
+        loop = asyncio.new_event_loop()
+        try:
+            loop.run_until_complete(worker._install(first))
+            assert len(worker._cells) == 2
+            worker._done[0] = ("k", {"ok": True}, 1)
+            # Identical re-WELCOME (a reconnect): memory is kept.
+            loop.run_until_complete(worker._install(first))
+            assert 0 in worker._done
+            # Same campaign id, different cell list (a resumed run that
+            # reused its id): index memory must be rebuilt from scratch.
+            loop.run_until_complete(worker._install(second))
+            assert worker._done == {}
+            assert len(worker._cells) == 3
+        finally:
+            worker._teardown_campaign()
+            loop.close()
 
     def test_revoke_releases_only_queued_leases(self):
         worker = FleetWorker("127.0.0.1", 1, worker_id="w1", slots=1)
@@ -620,6 +737,46 @@ class TestFleetEndToEnd:
         assert coord.stats["expired_leases"] >= 1
         assert coord.stats["reassigned"] >= 1
 
+    def test_second_campaign_same_run_id_reinstalls_live_workers(self):
+        """A resumed run re-indexes pending cells; surviving workers
+        must execute the new cells, never replay old index memory."""
+
+        def tagged(tag, count, base_seed):
+            return [
+                sweep.Cell(
+                    workload="bfs",
+                    safety=SafetyMode.ATS_ONLY,
+                    threading=GPUThreading.MODERATELY,
+                    ops_scale=SCALE,
+                    seed=base_seed + i,
+                    tag=tag,
+                )
+                for i in range(count)
+            ]
+
+        first = tagged("first", 3, 100)
+        second = tagged("second", 2, 500)  # a re-indexed pending set
+        with FleetCoordinator(heartbeat_seconds=0.2) as coord:
+            worker, thread = _spawn_worker_thread(coord, "w1", slots=2)
+            try:
+                out1, left1 = coord.map_cells(
+                    first, run_id="resume-run", wait_seconds=10.0
+                )
+                out2, left2 = coord.map_cells(
+                    second, run_id="resume-run", wait_seconds=10.0
+                )
+            finally:
+                _join_worker(worker, thread)
+        assert left1 == [] and left2 == []
+        assert sorted(out1) == [0, 1, 2]
+        assert sorted(out2) == [0, 1]
+        assert all(e["ok"] for e in out2.values())
+        # With stale index memory the worker would answer from the
+        # first campaign's entries — visible as "first/..." labels.
+        assert [out2[i]["label"] for i in sorted(out2)] == [
+            cell.label for cell in second
+        ]
+
     def test_zero_workers_degrades_to_leftovers(self):
         cells = _cells(2)
         with FleetCoordinator(heartbeat_seconds=0.1) as coord:
@@ -668,6 +825,33 @@ class TestRunSweepFleet:
         # Bit-identity against serial execution.
         _, mismatches = sweep.verify_identical(cells, report)
         assert mismatches == []
+
+    def test_trace_cells_stay_local_under_fleet(self):
+        cells = _cells(2) + [
+            sweep.Cell(
+                workload="bfs",
+                safety=SafetyMode.ATS_ONLY,
+                threading=GPUThreading.MODERATELY,
+                ops_scale=SCALE,
+                seed=1234,
+                record_border=True,
+            )
+        ]
+        with FleetCoordinator(heartbeat_seconds=0.2) as coord:
+            worker, thread = _spawn_worker_thread(coord, "w1", slots=2)
+            try:
+                report = sweep.run_sweep(cells, workers=1, fleet=coord)
+            finally:
+                _join_worker(worker, thread)
+        assert report.ok
+        traced_out = report.outcomes[2]
+        assert traced_out.cell.record_border
+        # The trace payload is not wire-serializable; a fleet execution
+        # would have silently returned result=None.
+        assert traced_out.result is not None
+        # The cacheable cells did ride the fleet.
+        assert report.fleet is not None
+        assert report.fleet["results"] == 2
 
     def test_workerless_fleet_falls_back_to_local_pool(self):
         cells = _cells(2)
