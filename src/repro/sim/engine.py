@@ -271,6 +271,25 @@ class Engine:
     def _schedule_call(self, fn: Callable[[Any], None], value: Any) -> None:
         self._ready.append((_KIND_CALL_VALUE, fn, value))
 
+    def call_at(self, when: int, fn: Callable[[Any], None], value: Any) -> None:
+        """Schedule ``fn(value)`` at absolute time ``when`` (>= now).
+
+        This is the flattened-actor primitive the vector execution tier
+        uses for per-access commit entries: unlike a generator resume it
+        carries no process, so a dispatch costs one tuple and one direct
+        call. Entries keep global ``(when, seq)`` order exactly like
+        process resumes — a ``when == now`` entry goes to the ready deque.
+        """
+        when = int(when)
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        if when > self.now:
+            heapq.heappush(
+                self._queue, (when, next(self._seq), _KIND_CALL_VALUE, fn, value)
+            )
+        else:
+            self._ready.append((_KIND_CALL_VALUE, fn, value))
+
     # -- processes -------------------------------------------------------
 
     def process(self, gen: Generator, name: str = "") -> Process:
@@ -398,10 +417,7 @@ class Engine:
         try:
             while True:
                 if queue and queue[0][0] == now:
-                    entry = pop(queue)
-                    kind = entry[2]
-                    target = entry[3]
-                    value = entry[4]
+                    _, _, kind, target, value = pop(queue)
                 elif ready:
                     kind, target, value = ready_pop()
                 elif queue:
@@ -409,11 +425,8 @@ class Engine:
                     if until is not None and when > until:
                         self.now = until
                         break
-                    entry = pop(queue)
+                    _, _, kind, target, value = pop(queue)
                     now = self.now = when
-                    kind = entry[2]
-                    target = entry[3]
-                    value = entry[4]
                 else:
                     if until is not None and until > now:
                         self.now = until

@@ -28,7 +28,7 @@ L2 lines later cross the border as writebacks.
 from __future__ import annotations
 
 import random
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import List
 
@@ -39,9 +39,24 @@ from repro.osmodel.kernel import Kernel
 from repro.osmodel.process import Process
 from repro.sim.config import GPUThreading
 
-__all__ = ["WorkloadSpec", "generate_trace"]
+__all__ = ["WorkloadSpec", "generate_trace", "clear_trace_cache"]
 
 BLOCKS_PER_PAGE = PAGE_SIZE // BLOCK_SIZE  # 32
+
+# Memoized traces. The op streams are a pure function of
+# (spec, threading, seed, ops_scale, large_pages, base_vaddr): the RNG is
+# seeded fresh below and never observes any other state. Sweeps and
+# benchmarks run the same cell many times (every safety mode shares one
+# trace), so reusing the materialized stream — and its lazily built SoA
+# mirror — removes the whole generation phase from repeat runs. The mmap
+# + CPU-touch side effects above the cache lookup still replay per run.
+_TRACE_CACHE: "OrderedDict[tuple, KernelTrace]" = OrderedDict()
+_TRACE_CACHE_MAX = 8
+
+
+def clear_trace_cache() -> None:
+    """Drop memoized traces (tests; bounding memory between sweeps)."""
+    _TRACE_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -246,6 +261,11 @@ def generate_trace(
             kernel.proc_write(
                 proc, base_vaddr + page * PAGE_SIZE, page.to_bytes(8, "little")
             )
+    cache_key = (spec, threading, seed, ops_scale, large_pages, base_vaddr)
+    cached = _TRACE_CACHE.get(cache_key)
+    if cached is not None:
+        _TRACE_CACHE.move_to_end(cache_key)
+        return cached
     rng = random.Random(seed)
     num_cus = threading.num_cus
     wf_per_cu = threading.wavefronts_per_cu
@@ -284,8 +304,12 @@ def generate_trace(
             wavefronts.append(ops)
             wf_global += 1
         cu_wavefronts.append(wavefronts)
-    return KernelTrace(
+    trace = KernelTrace(
         name=spec.name,
         cu_wavefronts=cu_wavefronts,
         footprint_pages=spec.footprint_pages,
     )
+    _TRACE_CACHE[cache_key] = trace
+    if len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+        _TRACE_CACHE.popitem(last=False)
+    return trace

